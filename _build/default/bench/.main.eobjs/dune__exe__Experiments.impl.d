@@ -1,0 +1,1 @@
+bench/experiments.ml: Abi Addr Attacks Bytes Cloak Cost Counters Fault Guest Harness Kernel List Machine Oshim Printf Uapi Workloads

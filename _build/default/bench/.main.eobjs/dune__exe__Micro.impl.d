@@ -1,0 +1,1 @@
+bench/micro.ml: Abi Addr Bytes Cloak Cost Guest Harness List Machine Oshim Printf Uapi

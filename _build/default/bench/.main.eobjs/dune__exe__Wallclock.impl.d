@@ -1,0 +1,1 @@
+bench/wallclock.ml: Analyze Bechamel Benchmark Bytes Char Harness Hashtbl Instance List Measure Oscrypto Printf Staged Test Time Toolkit

@@ -1,0 +1,52 @@
+(* E8 (wall-clock half): Bechamel micro-benchmarks of the from-scratch
+   crypto substrate on the host — nanoseconds per 4 KiB page operation.
+   These are host-machine numbers, not model cycles; they document how fast
+   the OCaml AES/SHA implementations actually run. *)
+
+open Bechamel
+open Toolkit
+
+let page = Bytes.init 4096 (fun i -> Char.chr (i land 0xFF))
+let key = Oscrypto.Aes.expand (Bytes.of_string "0123456789abcdef")
+let iv = Bytes.make 16 '\x42'
+let mac_key = Bytes.of_string "a-32-byte-key-for-hmac-sha256!!!"
+
+let tests =
+  Test.make_grouped ~name:"crypto-page"
+    [
+      Test.make ~name:"aes-ctr-4k"
+        (Staged.stage (fun () -> ignore (Oscrypto.Aes.ctr_transform key ~iv page)));
+      Test.make ~name:"sha256-4k"
+        (Staged.stage (fun () -> ignore (Oscrypto.Sha256.digest page)));
+      Test.make ~name:"hmac-4k"
+        (Staged.stage (fun () -> ignore (Oscrypto.Hmac.mac ~key:mac_key page)));
+      Test.make ~name:"cloak-page (aes+hmac)"
+        (Staged.stage (fun () ->
+             let c = Oscrypto.Aes.ctr_transform key ~iv page in
+             ignore (Oscrypto.Hmac.mac ~key:mac_key c)));
+    ]
+
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> Printf.sprintf "%.0f ns" t
+          | Some [] | None -> "n/a"
+        in
+        [ name; est ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Harness.Table.print ~title:"E8b: host wall-clock of the crypto substrate (Bechamel)"
+    ~note:"nanoseconds per 4 KiB operation on this machine (OLS estimate)"
+    ~headers:[ "operation"; "time/op" ]
+    rows

@@ -1,0 +1,112 @@
+(* Command-line front end for the Overshadow reproduction.
+
+     overshadow-cli kernel sort --cloaked     run one compute kernel
+     overshadow-cli attack tamper-memory      run one malicious-OS attack
+     overshadow-cli attack --all              run the whole catalog
+     overshadow-cli counters --cloaked        run a workload, dump counters
+     overshadow-cli list                      what's available
+
+   The benchmark tables (E1-E8) live in `dune exec bench/main.exe`. *)
+
+open Cmdliner
+
+let run_spec_kernel name cloaked scale =
+  match Workloads.Spec.find name with
+  | exception Not_found ->
+      Printf.eprintf "unknown kernel %s (try: %s)\n" name
+        (String.concat ", " (List.map (fun k -> k.Workloads.Spec.name) Workloads.Spec.kernels));
+      1
+  | kernel ->
+      let checksum = ref 0 in
+      let result =
+        Harness.run_program ~cloaked (fun env ->
+            let u = Uapi.of_env env in
+            checksum := kernel.Workloads.Spec.run u ~scale)
+      in
+      Printf.printf "kernel   : %s (scale %d, %s)\n" name scale
+        (if cloaked then "cloaked" else "native");
+      Printf.printf "checksum : %d\n" !checksum;
+      Printf.printf "cycles   : %s\n" (Harness.Table.cycles result.Harness.cycles);
+      if not (Harness.all_exited_zero result) then begin
+        Printf.printf "process failed!\n";
+        1
+      end
+      else 0
+
+let run_attacks all name =
+  let outcomes =
+    if all then Attacks.run_all ()
+    else
+      match name with
+      | Some n when List.mem n Attacks.names -> [ Attacks.run n ]
+      | Some n ->
+          Printf.eprintf "unknown attack %s\n" n;
+          exit 1
+      | None ->
+          Printf.eprintf "give an attack name or --all (see `list`)\n";
+          exit 1
+  in
+  List.iter (fun o -> Format.printf "%a@." Attacks.pp_outcome o) outcomes;
+  let bad =
+    List.exists
+      (fun (o : Attacks.outcome) -> o.leaked || ((not o.detected) && o.violation <> None))
+      outcomes
+  in
+  if bad then 1 else 0
+
+let run_counters cloaked =
+  let cfg = Workloads.Fileio.default in
+  let result = Harness.run_program ~cloaked (Workloads.Fileio.run cfg ~use_shim:true) in
+  Printf.printf "fileio workload (%s), %d operations, %s:\n\n"
+    (if cloaked then "cloaked" else "native")
+    cfg.Workloads.Fileio.operations
+    (Harness.Table.cycles result.Harness.cycles);
+  Format.printf "%a@." Machine.Counters.pp result.Harness.counters;
+  if Harness.all_exited_zero result then 0 else 1
+
+let run_list () =
+  Printf.printf "compute kernels:\n";
+  List.iter (fun k -> Printf.printf "  %s\n" k.Workloads.Spec.name) Workloads.Spec.kernels;
+  Printf.printf "\nattacks:\n";
+  List.iter (fun n -> Printf.printf "  %s\n" n) Attacks.names;
+  Printf.printf "\nbenchmark tables: dune exec bench/main.exe -- E1 E2 E3+E4 E5 E6 E7 E8 E8b\n";
+  0
+
+(* --- cmdliner plumbing --- *)
+
+let cloaked_flag = Arg.(value & flag & info [ "cloaked" ] ~doc:"Run the program cloaked.")
+
+let kernel_cmd =
+  let kernel_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc:"Kernel name.")
+  in
+  let scale_arg =
+    Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc:"Problem size multiplier.")
+  in
+  Cmd.v
+    (Cmd.info "kernel" ~doc:"Run one SPEC-style compute kernel and report model cycles.")
+    Term.(const run_spec_kernel $ kernel_arg $ cloaked_flag $ scale_arg)
+
+let attack_cmd =
+  let all_arg = Arg.(value & flag & info [ "all" ] ~doc:"Run the whole catalog.") in
+  let attack_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ATTACK" ~doc:"Attack name.")
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Run malicious-OS attacks and report leak/detection outcomes.")
+    Term.(const run_attacks $ all_arg $ attack_arg)
+
+let counters_cmd =
+  Cmd.v
+    (Cmd.info "counters" ~doc:"Run the fileio workload and dump all VMM event counters.")
+    Term.(const run_counters $ cloaked_flag)
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List available kernels and attacks.") Term.(const run_list $ const ())
+
+let () =
+  let info =
+    Cmd.info "overshadow-cli" ~version:"1.0"
+      ~doc:"Overshadow (ASPLOS 2008) reproduction: cloaked execution on a simulated VMM."
+  in
+  exit (Cmd.eval' (Cmd.group info [ kernel_cmd; attack_cmd; counters_cmd; list_cmd ]))

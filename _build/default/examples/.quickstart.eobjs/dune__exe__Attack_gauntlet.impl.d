@@ -1,0 +1,1 @@
+examples/attack_gauntlet.ml: Attacks Format List Printf

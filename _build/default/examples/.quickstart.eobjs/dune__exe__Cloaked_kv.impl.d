@@ -1,0 +1,1 @@
+examples/cloaked_kv.ml: Addr Buffer Bytes Cloak Guest Hashtbl Kernel Machine Oshim Page_table Printf String Uapi

@@ -1,0 +1,1 @@
+examples/cloaked_kv.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Addr Bytes Char Cloak Format Guest Kernel List Machine Page_table Printf String Uapi

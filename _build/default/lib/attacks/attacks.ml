@@ -1,0 +1,362 @@
+open Machine
+open Guest
+open Oshim
+
+type outcome = {
+  name : string;
+  description : string;
+  leaked : bool;
+  detected : bool;
+  violation : string option;
+}
+
+let secret = Bytes.of_string "TOP-SECRET-ELEVEN-HERBS-AND-SPICES"
+
+let contains_secret haystack =
+  let h = Bytes.to_string haystack and n = Bytes.to_string secret in
+  let hl = String.length h and nl = String.length n in
+  let rec go i = i + nl <= hl && (String.sub h i nl = n || go (i + 1)) in
+  go 0
+
+(* Everything a kernel-level adversary can see of an address space: the raw
+   contents of every guest physical page its page table references, read
+   through the physmap (exactly how a malicious kernel would scrape a
+   process). *)
+let scrape_address_space vmm ~asid =
+  let pt = Cloak.Vmm.page_table vmm ~asid in
+  let found = ref false in
+  Page_table.iter pt (fun _vpn pte ->
+      let data = Cloak.Vmm.phys_read vmm pte.Page_table.ppn ~off:0 ~len:Addr.page_size in
+      if contains_secret data then found := true);
+  !found
+
+let scan_device dev =
+  let found = ref false in
+  for b = 0 to Blockdev.block_count dev - 1 do
+    if contains_secret (Blockdev.peek dev b) then found := true
+  done;
+  !found
+
+(* Run a victim whose program receives (kernel, vmm, uapi) plus a hostile
+   action to perform "as the OS" at the right moment, and collect the
+   stack-wide outcome. *)
+let with_stack ?(kconfig = Kernel.default_config) f =
+  let vmm = Cloak.Vmm.create () in
+  let k = Kernel.create ~config:kconfig vmm in
+  let leaked = ref false in
+  let pids = f vmm k leaked in
+  (try Kernel.run k with Kernel.Deadlock _ -> ());
+  let detected, violation =
+    match Kernel.violations k with
+    | (_, v) :: _ -> (true, Some (Cloak.Violation.kind_to_string v.Cloak.Violation.kind))
+    | [] -> (false, None)
+  in
+  ignore pids;
+  (!leaked, detected, violation)
+
+let finish ~name ~description (leaked, detected, violation) =
+  { name; description; leaked; detected; violation }
+
+(* A victim that stores the secret in cloaked heap memory, runs [attack]
+   while alive, then optionally touches the secret again. *)
+let victim_with_attack ?(touch_after = true) attack env =
+  let u = Uapi.of_env env in
+  let buf = Uapi.malloc u Addr.page_size in
+  Uapi.store u ~vaddr:buf secret;
+  attack u buf;
+  if touch_after then ignore (Uapi.load u ~vaddr:buf ~len:(Bytes.length secret))
+
+(* --- privacy attacks --- *)
+
+let peek_memory () =
+  with_stack (fun vmm k leaked ->
+      [
+        Kernel.spawn k ~cloaked:true
+          (victim_with_attack (fun u _buf ->
+               if scrape_address_space vmm ~asid:(Uapi.pid u) then leaked := true));
+      ])
+  |> finish ~name:"peek-memory"
+       ~description:"kernel scrapes every mapped page of the victim via physmap"
+
+let steal_swap () =
+  let kconfig = { Kernel.default_config with guest_pages = 80 } in
+  with_stack ~kconfig (fun _vmm k leaked ->
+      [
+        Kernel.spawn k ~cloaked:true
+          (victim_with_attack (fun u _buf ->
+               (* force the victim's pages out to swap *)
+               let filler = Uapi.malloc u (100 * Addr.page_size) in
+               for p = 0 to 99 do
+                 Uapi.store_byte u ~vaddr:(filler + (p * Addr.page_size)) p
+               done;
+               if scan_device (Kernel.swap_device k) then leaked := true));
+      ])
+  |> finish ~name:"steal-swap"
+       ~description:"page the victim out under memory pressure, then read the swap device"
+
+let steal_disk () =
+  with_stack (fun _vmm k leaked ->
+      [
+        Kernel.spawn k ~cloaked:true (fun env ->
+            let u = Uapi.of_env env in
+            let shim = Shim.install u in
+            let f = Shim_io.create shim ~path:"/vault" ~pages:1 in
+            Shim_io.write shim f ~pos:0 secret;
+            Shim_io.save shim f;
+            Uapi.sync u;
+            if scan_device (Kernel.disk k) then leaked := true);
+      ])
+  |> finish ~name:"steal-disk"
+       ~description:"read the raw disk after a protected file is saved and synced"
+
+(* --- integrity attacks --- *)
+
+let tamper_memory () =
+  with_stack (fun vmm k leaked ->
+      ignore leaked;
+      [
+        Kernel.spawn k ~cloaked:true
+          (victim_with_attack (fun u buf ->
+               (* the OS corrupts the (encrypted) page contents in place *)
+               let pt = Cloak.Vmm.page_table vmm ~asid:(Uapi.pid u) in
+               match Page_table.lookup pt (Addr.vpn_of_vaddr buf) with
+               | Some pte ->
+                   Cloak.Vmm.phys_write vmm pte.Page_table.ppn ~off:0 (Bytes.make 32 '\xEE')
+               | None -> ()));
+      ])
+  |> finish ~name:"tamper-memory"
+       ~description:"kernel overwrites bytes of a cloaked page; victim touches it again"
+
+let relocate_page () =
+  with_stack (fun vmm k leaked ->
+      ignore leaked;
+      [
+        Kernel.spawn k ~cloaked:true (fun env ->
+            let u = Uapi.of_env env in
+            let buf1 = Uapi.malloc u Addr.page_size in
+            let buf2 = Uapi.malloc u Addr.page_size in
+            Uapi.store u ~vaddr:buf1 secret;
+            Uapi.store u ~vaddr:buf2 (Bytes.make 64 'o');
+            (* the OS swaps the two physical pages under the mappings *)
+            let pt = Cloak.Vmm.page_table vmm ~asid:(Uapi.pid u) in
+            let vpn1 = Addr.vpn_of_vaddr buf1 and vpn2 = Addr.vpn_of_vaddr buf2 in
+            (match (Page_table.lookup pt vpn1, Page_table.lookup pt vpn2) with
+            | Some p1, Some p2 ->
+                Page_table.map pt vpn1 p2.Page_table.ppn ~writable:true ~user:true;
+                Page_table.map pt vpn2 p1.Page_table.ppn ~writable:true ~user:true;
+                Cloak.Vmm.invlpg vmm ~asid:(Uapi.pid u) ~vpn:vpn1;
+                Cloak.Vmm.invlpg vmm ~asid:(Uapi.pid u) ~vpn:vpn2
+            | _ -> ());
+            ignore (Uapi.load u ~vaddr:buf1 ~len:16));
+      ])
+  |> finish ~name:"relocate-page"
+       ~description:"kernel exchanges the physical pages behind two cloaked mappings"
+
+let rollback_page () =
+  with_stack (fun vmm k leaked ->
+      ignore leaked;
+      [
+        Kernel.spawn k ~cloaked:true (fun env ->
+            let u = Uapi.of_env env in
+            let buf = Uapi.malloc u Addr.page_size in
+            let pt = Cloak.Vmm.page_table vmm ~asid:(Uapi.pid u) in
+            let ppn () =
+              match Page_table.lookup pt (Addr.vpn_of_vaddr buf) with
+              | Some pte -> pte.Page_table.ppn
+              | None -> invalid_arg "rollback: page not mapped"
+            in
+            Uapi.store u ~vaddr:buf (Bytes.of_string "account balance: 1000");
+            (* force encryption and snapshot the old ciphertext *)
+            let old_cipher = Cloak.Vmm.phys_read vmm (ppn ()) ~off:0 ~len:Addr.page_size in
+            (* victim updates its data (decrypt, write, re-encrypt) *)
+            Uapi.store u ~vaddr:buf (Bytes.of_string "account balance: 0   ");
+            let _ = Cloak.Vmm.phys_read vmm (ppn ()) ~off:0 ~len:16 in
+            (* the OS replays the stale ciphertext *)
+            Cloak.Vmm.phys_write vmm (ppn ()) ~off:0 old_cipher;
+            ignore (Uapi.load u ~vaddr:buf ~len:21));
+      ])
+  |> finish ~name:"rollback-page"
+       ~description:"kernel replays an older (validly encrypted) version of a cloaked page"
+
+let tamper_swap () =
+  let kconfig = { Kernel.default_config with guest_pages = 80 } in
+  with_stack ~kconfig (fun _vmm k leaked ->
+      ignore leaked;
+      [
+        Kernel.spawn k ~cloaked:true
+          (victim_with_attack (fun u _buf ->
+               let filler = Uapi.malloc u (100 * Addr.page_size) in
+               for p = 0 to 99 do
+                 Uapi.store_byte u ~vaddr:(filler + (p * Addr.page_size)) p
+               done;
+               (* corrupt every swap block in use *)
+               let swap = Kernel.swap_device k in
+               for b = 0 to Blockdev.block_count swap - 1 do
+                 let data = Blockdev.peek swap b in
+                 if not (Bytes.for_all (fun c -> c = '\000') data) then begin
+                   Bytes.set data 0 (Char.chr (Char.code (Bytes.get data 0) lxor 0xFF));
+                   Blockdev.poke swap b data
+                 end
+               done));
+      ])
+  |> finish ~name:"tamper-swap"
+       ~description:"kernel corrupts swapped-out cloaked pages; victim pages them back in"
+
+let drop_plaintext () =
+  with_stack (fun vmm k leaked ->
+      ignore leaked;
+      [
+        Kernel.spawn k ~cloaked:true
+          (victim_with_attack (fun u buf ->
+               (* the OS silently discards the victim's page without paging
+                  it out *)
+               let asid = Uapi.pid u in
+               let pt = Cloak.Vmm.page_table vmm ~asid in
+               let vpn = Addr.vpn_of_vaddr buf in
+               match Page_table.lookup pt vpn with
+               | Some pte ->
+                   Page_table.unmap pt vpn;
+                   Cloak.Vmm.invlpg vmm ~asid ~vpn;
+                   Cloak.Vmm.release_ppn vmm pte.Page_table.ppn;
+                   ignore (Kernel.fs k)
+               | None -> ()));
+      ])
+  |> finish ~name:"drop-plaintext"
+       ~description:"kernel discards a resident cloaked page and substitutes a fresh one"
+
+let bad_resume () =
+  with_stack (fun vmm k leaked ->
+      ignore leaked;
+      let victim =
+        Kernel.spawn k ~cloaked:true (fun env ->
+            let u = Uapi.of_env env in
+            let rfd, _wfd = Uapi.pipe u in
+            let b = Uapi.malloc u 64 in
+            (* blocks forever inside a syscall: the cloaked context stays
+               saved in the VMM *)
+            ignore (Uapi.read u ~fd:rfd ~vaddr:b ~len:1))
+      in
+      let attacker =
+        Kernel.spawn k (fun env ->
+            let u = Uapi.of_env env in
+            Uapi.yield u;
+            (* the kernel tries to resume the victim's thread with a forged
+               context handle *)
+            (try
+               ignore
+                 (Cloak.Transfer.resume (Kernel.transfer k) vmm ~asid:victim ~tid:victim
+                    ~handle:(Cloak.Transfer.handle_of_int 424242))
+             with Cloak.Violation.Security_fault v ->
+               (* surface it like any other violation *)
+               raise (Cloak.Violation.Security_fault v));
+            Uapi.exit u 0)
+      in
+      ignore attacker;
+      [ victim ])
+  |> fun (leaked, detected, violation) ->
+  { (finish ~name:"bad-resume"
+       ~description:"kernel resumes a cloaked thread with a forged context handle"
+       (leaked, detected, violation))
+    with leaked = false }
+
+let replay_protected_file () =
+  with_stack (fun _vmm k leaked ->
+      ignore leaked;
+      [
+        Kernel.spawn k ~cloaked:true (fun env ->
+            let u = Uapi.of_env env in
+            let shim = Shim.install u in
+            let f = Shim_io.create shim ~path:"/ledger" ~pages:1 in
+            Shim_io.write shim f ~pos:0 (Bytes.of_string "balance=1000");
+            Shim_io.save shim f;
+            let fs = Kernel.fs k in
+            let stale =
+              match Fs.lookup fs "/ledger.meta" with
+              | Ok inode -> (
+                  match Fs.read_host fs ~inode ~pos:0 ~len:(Fs.size fs inode) with
+                  | Ok b -> b
+                  | Error _ -> Bytes.empty)
+              | Error _ -> Bytes.empty
+            in
+            Shim_io.write shim f ~pos:0 (Bytes.of_string "balance=0   ");
+            Shim_io.save shim f;
+            Shim_io.close shim f;
+            (match Fs.lookup fs "/ledger.meta" with
+            | Ok inode ->
+                ignore (Fs.truncate fs ~inode);
+                ignore (Fs.write_host fs ~inode ~pos:0 stale)
+            | Error _ -> ());
+            let _ = Shim_io.open_existing shim ~path:"/ledger" in
+            ());
+      ])
+  |> finish ~name:"replay-protected-file"
+       ~description:"OS rolls a protected file's metadata back to an older saved version"
+
+(* The OS substitutes one victim's (validly encrypted) page for another
+   victim's: the MAC binds ciphertext to its owning resource, so the page
+   fails verification in the second victim's context. *)
+let cross_process_substitution () =
+  with_stack (fun vmm k leaked ->
+      ignore leaked;
+      let page_of u buf =
+        let pt = Cloak.Vmm.page_table vmm ~asid:(Uapi.pid u) in
+        match Page_table.lookup pt (Addr.vpn_of_vaddr buf) with
+        | Some pte -> pte.Page_table.ppn
+        | None -> invalid_arg "victim page not mapped"
+      in
+      let victim_a = ref None in
+      let a =
+        Kernel.spawn k ~cloaked:true (fun env ->
+            let u = Uapi.of_env env in
+            let buf = Uapi.malloc u Addr.page_size in
+            Uapi.store u ~vaddr:buf secret;
+            (* force it to the encrypted state and publish its location *)
+            ignore (Cloak.Vmm.phys_read vmm (page_of u buf) ~off:0 ~len:16);
+            victim_a := Some (page_of u buf);
+            Uapi.yield u;
+            Uapi.yield u)
+      in
+      ignore a;
+      let b =
+        Kernel.spawn k ~cloaked:true (fun env ->
+            let u = Uapi.of_env env in
+            let buf = Uapi.malloc u Addr.page_size in
+            Uapi.store u ~vaddr:buf (Bytes.make 64 'b');
+            ignore (Cloak.Vmm.phys_read vmm (page_of u buf) ~off:0 ~len:16);
+            Uapi.yield u;
+            (* the OS copies A's ciphertext over B's page while B runs *)
+            (match !victim_a with
+            | Some a_ppn ->
+                let stolen = Cloak.Vmm.phys_read vmm a_ppn ~off:0 ~len:Addr.page_size in
+                Cloak.Vmm.phys_write vmm (page_of u buf) ~off:0 stolen
+            | None -> ());
+            (* B touches its page: A's ciphertext must not verify here *)
+            ignore (Uapi.load u ~vaddr:buf ~len:16))
+      in
+      ignore b;
+      [])
+  |> finish ~name:"cross-process-substitution"
+       ~description:"kernel grafts one cloaked process's ciphertext into another's page"
+
+let catalog =
+  [
+    ("peek-memory", peek_memory);
+    ("steal-swap", steal_swap);
+    ("steal-disk", steal_disk);
+    ("tamper-memory", tamper_memory);
+    ("relocate-page", relocate_page);
+    ("rollback-page", rollback_page);
+    ("tamper-swap", tamper_swap);
+    ("drop-plaintext", drop_plaintext);
+    ("bad-resume", bad_resume);
+    ("replay-protected-file", replay_protected_file);
+    ("cross-process-substitution", cross_process_substitution);
+  ]
+
+let names = List.map fst catalog
+let run name = (List.assoc name catalog) ()
+let run_all () = List.map (fun (_, f) -> f ()) catalog
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%-22s leaked=%-5b detected=%-5b %s" o.name o.leaked o.detected
+    (match o.violation with Some v -> "[" ^ v ^ "]" | None -> "")

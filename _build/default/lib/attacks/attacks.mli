@@ -1,0 +1,25 @@
+(** Malicious-OS attack catalog (the paper's security evaluation).
+
+    Each attack builds a fresh stack, runs a cloaked victim holding a known
+    secret, performs a hostile kernel action at a chosen moment, and
+    reports whether the secret leaked and whether the tampering was
+    detected. Privacy attacks are expected to show [leaked = false] without
+    necessarily being detected (the OS is allowed to read ciphertext);
+    integrity attacks must show [detected = true]. *)
+
+type outcome = {
+  name : string;
+  description : string;
+  leaked : bool;       (** adversary observed the plaintext secret *)
+  detected : bool;     (** a security fault was raised *)
+  violation : string option;  (** kind of the recorded violation, if any *)
+}
+
+val names : string list
+
+val run : string -> outcome
+(** Run one attack by name. Raises [Not_found] for unknown names. *)
+
+val run_all : unit -> outcome list
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/cloak/context.ml: Format

@@ -1,0 +1,1 @@
+lib/cloak/metadata.ml: Addr Bytes Hashtbl List Machine Printf Resource String

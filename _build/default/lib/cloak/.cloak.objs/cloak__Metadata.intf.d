@@ -1,0 +1,1 @@
+lib/cloak/metadata.mli: Addr Machine Resource

@@ -1,0 +1,1 @@
+lib/cloak/resource.ml: Format Printf

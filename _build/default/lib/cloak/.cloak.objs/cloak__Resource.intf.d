@@ -1,0 +1,1 @@
+lib/cloak/resource.mli: Format

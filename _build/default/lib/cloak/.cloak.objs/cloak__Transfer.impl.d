@@ -1,0 +1,1 @@
+lib/cloak/transfer.ml: Array Cost Hashtbl Machine Violation Vmm

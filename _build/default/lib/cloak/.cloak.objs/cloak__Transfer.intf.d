@@ -1,0 +1,1 @@
+lib/cloak/transfer.mli: Vmm

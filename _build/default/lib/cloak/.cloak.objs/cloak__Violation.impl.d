@@ -1,0 +1,1 @@
+lib/cloak/violation.ml: Format

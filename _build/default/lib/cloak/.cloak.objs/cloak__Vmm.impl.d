@@ -1,0 +1,1 @@
+lib/cloak/vmm.ml: Addr Buffer Bytes Context Cost Counters Fault Hashtbl List Machine Metadata Option Oscrypto Page_table Phys_mem Printf Resource String Tlb Violation

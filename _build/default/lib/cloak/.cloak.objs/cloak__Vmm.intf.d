@@ -1,0 +1,1 @@
+lib/cloak/vmm.mli: Addr Context Cost Counters Fault Machine Page_table Phys_mem Resource

@@ -1,0 +1,14 @@
+type t = Anon of int | Shm of int
+
+let equal a b =
+  match (a, b) with
+  | Anon x, Anon y | Shm x, Shm y -> x = y
+  | Anon _, Shm _ | Shm _, Anon _ -> false
+
+let hash = function Anon x -> (2 * x) + 1 | Shm x -> 2 * x
+
+let tag = function
+  | Anon x -> Printf.sprintf "anon:%d" x
+  | Shm x -> Printf.sprintf "shm:%d" x
+
+let pp ppf r = Format.pp_print_string ppf (tag r)

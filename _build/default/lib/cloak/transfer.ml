@@ -1,0 +1,55 @@
+open Machine
+
+type regs = { pc : int; sp : int; gp : int array }
+
+let fresh_regs () = { pc = 0; sp = 0; gp = Array.make 8 0 }
+
+let equal_regs a b = a.pc = b.pc && a.sp = b.sp && a.gp = b.gp
+
+type handle = int
+
+type saved = { handle : handle; regs : regs }
+
+type t = {
+  table : (int * int, saved) Hashtbl.t;  (* (asid, tid) -> saved context *)
+  mutable next_handle : int;
+}
+
+let create () = { table = Hashtbl.create 16; next_handle = 1 }
+
+let copy_regs r = { r with gp = Array.copy r.gp }
+
+let enter_kernel t vmm ~asid ~tid ~regs ~exposed =
+  if Array.length exposed > 8 then
+    invalid_arg "Transfer.enter_kernel: at most 8 exposed words";
+  if Hashtbl.mem t.table (asid, tid) then
+    invalid_arg "Transfer.enter_kernel: thread already has a saved context";
+  let handle = t.next_handle in
+  t.next_handle <- handle + 1;
+  Hashtbl.add t.table (asid, tid) { handle; regs = copy_regs regs };
+  (* The guest->VMM crossing itself is charged by the caller's switch_to;
+     here we charge only the save/scrub work. *)
+  Vmm.charge vmm (Cost.model (Vmm.cost vmm)).context_save;
+  let visible = fresh_regs () in
+  Array.iteri (fun i v -> visible.gp.(i) <- v) exposed;
+  (handle, visible)
+
+let resume t vmm ~asid ~tid ~handle =
+  Vmm.hypercall vmm;
+  Vmm.charge vmm (Cost.model (Vmm.cost vmm)).context_save;
+  match Hashtbl.find_opt t.table (asid, tid) with
+  | None ->
+      Violation.fail Bad_resume "no saved context for asid %d tid %d" asid tid
+  | Some saved ->
+      if saved.handle <> handle then
+        Violation.fail Bad_resume
+          "handle mismatch for asid %d tid %d: kernel presented %d, saved %d" asid
+          tid handle saved.handle;
+      Hashtbl.remove t.table (asid, tid);
+      saved.regs
+
+let discard t ~asid ~tid = Hashtbl.remove t.table (asid, tid)
+
+let saved_count t = Hashtbl.length t.table
+let has_saved t ~asid ~tid = Hashtbl.mem t.table (asid, tid)
+let handle_of_int h = h

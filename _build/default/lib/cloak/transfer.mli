@@ -1,0 +1,49 @@
+(** Secure control transfer between a cloaked application and the guest
+    kernel.
+
+    When execution leaves cloaked user code (syscall, fault, interrupt),
+    the VMM saves the thread's register context into a VMM-private table,
+    hands the kernel a scrubbed register file that exposes only what the
+    shim chose to reveal (the syscall number and marshaled arguments), and
+    redirects the eventual return through the shim's uncloaked trampoline,
+    which asks the VMM to restore the saved context. A kernel that tries to
+    resume a thread with anything but the genuine saved context is caught. *)
+
+
+type regs = { pc : int; sp : int; gp : int array }
+(** A symbolic register file: program counter, stack pointer and eight
+    general-purpose registers. The simulation does not execute machine
+    code; the register file exists so the save/scrub/restore protocol and
+    its attacks are faithfully representable. *)
+
+val fresh_regs : unit -> regs
+val equal_regs : regs -> regs -> bool
+
+type handle = private int
+(** Names one saved context; passed through the (untrusted) kernel to the
+    trampoline. Possession of a handle grants nothing: the VMM checks it
+    against the (asid, tid) pair resuming. *)
+
+type t
+
+val create : unit -> t
+
+val enter_kernel :
+  t -> Vmm.t -> asid:int -> tid:int -> regs:regs -> exposed:int array -> handle * regs
+(** Save and scrub [regs] on a transition out of cloaked code. Returns the
+    handle and the register file the kernel gets to see: zeroed except for
+    the [exposed] words (at most 8) placed in the GPRs. *)
+
+val resume : t -> Vmm.t -> asid:int -> tid:int -> handle:handle -> regs
+(** Restore the saved context (single use). Raises
+    {!Violation.Security_fault} with [Bad_resume] if no context is saved
+    for this thread or the handle does not match — e.g. a malicious kernel
+    resuming thread A with thread B's context. *)
+
+val discard : t -> asid:int -> tid:int -> unit
+(** Drop a saved context (thread/process teardown). *)
+
+val saved_count : t -> int
+val has_saved : t -> asid:int -> tid:int -> bool
+val handle_of_int : int -> handle
+(** For attack modelling only: forge a handle value. *)

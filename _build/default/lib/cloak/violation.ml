@@ -1,0 +1,18 @@
+type kind = Integrity | Relocation | Lost_plaintext | Bad_resume | Metadata_forged
+
+type t = { kind : kind; detail : string }
+
+exception Security_fault of t
+
+let kind_to_string = function
+  | Integrity -> "integrity"
+  | Relocation -> "relocation"
+  | Lost_plaintext -> "lost-plaintext"
+  | Bad_resume -> "bad-resume"
+  | Metadata_forged -> "metadata-forged"
+
+let fail kind fmt =
+  Format.kasprintf (fun detail -> raise (Security_fault { kind; detail })) fmt
+
+let pp ppf { kind; detail } =
+  Format.fprintf ppf "security fault [%s]: %s" (kind_to_string kind) detail

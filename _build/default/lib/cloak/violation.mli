@@ -1,0 +1,26 @@
+(** Security faults.
+
+    When the cloaking engine detects that the OS (or anything else) has
+    tampered with protected state, it raises a security fault. The policy is
+    fail-stop: the cloaked application is terminated rather than allowed to
+    run on corrupted data. Privacy is enforced unconditionally (the OS only
+    ever sees ciphertext); integrity is enforced by detection. *)
+
+type kind =
+  | Integrity   (** page MAC verification failed: tampered or rolled back *)
+  | Relocation  (** a plaintext cloaked page surfaced at a different machine
+                    page than its home — the OS moved or substituted it *)
+  | Lost_plaintext  (** the OS discarded a plaintext cloaked page *)
+  | Bad_resume  (** attempt to resume a cloaked thread with a context that
+                    does not match the saved one *)
+  | Metadata_forged (** an imported protected object failed authentication *)
+
+type t = { kind : kind; detail : string }
+
+exception Security_fault of t
+
+val fail : kind -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [fail kind fmt ...] raises {!Security_fault} with a formatted detail. *)
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

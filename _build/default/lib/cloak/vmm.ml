@@ -1,0 +1,660 @@
+open Machine
+
+type config = {
+  multi_shadow : bool;
+  clean_reencrypt : bool;
+  mem_pages : int;
+  tlb_slots : int;
+  cost_model : Cost.model;
+  seed : int;
+}
+
+let default_config =
+  {
+    multi_shadow = true;
+    clean_reencrypt = true;
+    mem_pages = 16384;
+    tlb_slots = 256;
+    cost_model = Cost.default;
+    seed = 0xC10A5ED;
+  }
+
+type range = {
+  start_vpn : Addr.vpn;
+  pages : int;
+  resource : Resource.t;
+  base_idx : int;
+}
+
+type spte = { mpn : Addr.mpn; writable : bool }
+
+type shadow_key = int * Context.view
+
+type t = {
+  cfg : config;
+  mem : Phys_mem.t;
+  cost : Cost.t;
+  counters : Counters.t;
+  tlb : Tlb.t;
+  page_key : Oscrypto.Aes.key;   (* VMM secret: page encryption *)
+  mac_key : bytes;               (* VMM secret: metadata authentication *)
+  prng : Oscrypto.Prng.t;
+  pmap : (Addr.ppn, Addr.mpn) Hashtbl.t;
+  page_tables : (int, Page_table.t) Hashtbl.t;
+  shadows : (shadow_key, (Addr.vpn, spte) Hashtbl.t) Hashtbl.t;
+  shadow_ids : (shadow_key, int) Hashtbl.t;
+  mutable next_shadow_id : int;
+  meta : Metadata.t;
+  ranges : (int, range list ref) Hashtbl.t;        (* asid -> placements *)
+  bound : (Addr.ppn, Resource.t * int) Hashtbl.t;  (* physmap cloak lookups *)
+  generations : (int, int) Hashtbl.t;              (* shm id -> freshness *)
+  mutable next_shm : int;
+  mutable current : Context.t option;
+}
+
+let create ?(config = default_config) () =
+  let prng = Oscrypto.Prng.create ~seed:config.seed in
+  {
+    cfg = config;
+    mem = Phys_mem.create ~pages:config.mem_pages;
+    cost = Cost.create ~model:config.cost_model ();
+    counters = Counters.create ();
+    tlb = Tlb.create ~slots:config.tlb_slots ();
+    page_key = Oscrypto.Aes.expand (Oscrypto.Prng.bytes prng 16);
+    mac_key = Oscrypto.Prng.bytes prng 32;
+    prng;
+    pmap = Hashtbl.create 1024;
+    page_tables = Hashtbl.create 16;
+    shadows = Hashtbl.create 16;
+    shadow_ids = Hashtbl.create 16;
+    next_shadow_id = 0;
+    meta = Metadata.create ();
+    ranges = Hashtbl.create 16;
+    bound = Hashtbl.create 256;
+    generations = Hashtbl.create 16;
+    next_shm = 1;
+    current = None;
+  }
+
+let config t = t.cfg
+let cost t = t.cost
+let counters t = t.counters
+let mem t = t.mem
+
+(* --- charging helpers --- *)
+
+let charge t n = Cost.charge t.cost n
+
+let charge_copy t ~bytes_count =
+  charge t ((Cost.model t.cost).copy_word * ((bytes_count + 7) / 8));
+  t.counters.bytes_copied <- t.counters.bytes_copied + bytes_count
+
+let hypercall t =
+  t.counters.hypercalls <- t.counters.hypercalls + 1;
+  charge t (Cost.model t.cost).hypercall
+
+let world_switch t =
+  t.counters.world_switches <- t.counters.world_switches + 1;
+  charge t (Cost.model t.cost).world_switch
+
+let syscall_trap t =
+  t.counters.syscalls <- t.counters.syscalls + 1;
+  charge t (Cost.model t.cost).syscall_trap
+
+let timer_tick t =
+  t.counters.timer_ticks <- t.counters.timer_ticks + 1;
+  charge t (Cost.model t.cost).timer_interrupt
+
+let guest_fault_charge t =
+  t.counters.guest_faults <- t.counters.guest_faults + 1;
+  charge t (Cost.model t.cost).guest_fault
+
+let hidden_fault t =
+  t.counters.hidden_faults <- t.counters.hidden_faults + 1;
+  charge t (Cost.model t.cost).hidden_fault
+
+(* --- address spaces --- *)
+
+let register_address_space t pt = Hashtbl.replace t.page_tables (Page_table.asid pt) pt
+
+let page_table t ~asid = Hashtbl.find t.page_tables asid
+
+(* --- shadows --- *)
+
+let shadow_key (ctx : Context.t) : shadow_key = (ctx.asid, ctx.view)
+
+let shadow t ctx =
+  let key = shadow_key ctx in
+  match Hashtbl.find_opt t.shadows key with
+  | Some table -> table
+  | None ->
+      let table = Hashtbl.create 64 in
+      Hashtbl.add t.shadows key table;
+      table
+
+let shadow_id t ctx =
+  let key = shadow_key ctx in
+  match Hashtbl.find_opt t.shadow_ids key with
+  | Some id -> id
+  | None ->
+      let id = t.next_shadow_id in
+      t.next_shadow_id <- id + 1;
+      Hashtbl.add t.shadow_ids key id;
+      id
+
+let drop_shadow t key =
+  (match Hashtbl.find_opt t.shadow_ids key with
+  | Some id -> Tlb.flush_shadow t.tlb ~shadow:id
+  | None -> ());
+  Hashtbl.remove t.shadows key
+
+(* --- guest physical backing --- *)
+
+let back_ppn t ppn =
+  match Hashtbl.find_opt t.pmap ppn with
+  | Some mpn -> mpn
+  | None ->
+      let mpn = Phys_mem.alloc t.mem in
+      Hashtbl.add t.pmap ppn mpn;
+      mpn
+
+let release_ppn t ppn =
+  match Hashtbl.find_opt t.pmap ppn with
+  | None -> ()
+  | Some mpn ->
+      Phys_mem.free t.mem mpn;
+      Hashtbl.remove t.pmap ppn;
+      Hashtbl.remove t.bound ppn
+
+(* --- cloaking ranges --- *)
+
+let ranges_of t asid =
+  match Hashtbl.find_opt t.ranges asid with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.add t.ranges asid l;
+      l
+
+let cloak_range t ~asid ~resource ~start_vpn ~pages ~base_idx =
+  if pages <= 0 then invalid_arg "Vmm.cloak_range: pages must be positive";
+  let l = ranges_of t asid in
+  let overlaps r =
+    start_vpn < r.start_vpn + r.pages && r.start_vpn < start_vpn + pages
+  in
+  if List.exists overlaps !l then
+    invalid_arg "Vmm.cloak_range: overlapping cloaked range";
+  l := { start_vpn; pages; resource; base_idx } :: !l
+
+let uncloak_range t ~asid ~start_vpn =
+  let l = ranges_of t asid in
+  l := List.filter (fun r -> r.start_vpn <> start_vpn) !l
+
+let resource_at t ~asid ~vpn =
+  match Hashtbl.find_opt t.ranges asid with
+  | None -> None
+  | Some l ->
+      List.find_map
+        (fun r ->
+          if vpn >= r.start_vpn && vpn < r.start_vpn + r.pages then
+            Some (r.resource, r.base_idx + (vpn - r.start_vpn))
+          else None)
+        !l
+
+let iter_placements t resource idx f =
+  Hashtbl.iter
+    (fun asid l ->
+      List.iter
+        (fun r ->
+          if
+            Resource.equal r.resource resource
+            && idx >= r.base_idx
+            && idx < r.base_idx + r.pages
+          then f asid (r.start_vpn + (idx - r.base_idx)))
+        !l)
+    t.ranges
+
+(* Remove every mapping of a cloaked page from the given view's shadows: the
+   page just changed representation, so stale translations in the other
+   view must never survive the transition. *)
+let unmap_view t resource idx view =
+  iter_placements t resource idx (fun asid vpn ->
+      (match Hashtbl.find_opt t.shadows (asid, view) with
+      | Some table -> Hashtbl.remove table vpn
+      | None -> ());
+      Tlb.flush_vpn t.tlb ~vpn)
+
+let fresh_shm t =
+  let id = t.next_shm in
+  t.next_shm <- id + 1;
+  Resource.Shm id
+
+(* An address space with no cloaked ranges needs no view distinction: its
+   kernel (Sys) accesses share the App shadow, so uncloaked processes pay no
+   extra VMM crossings on ring transitions — the fair baseline the paper
+   measures against. *)
+let cloak_active t asid =
+  match Hashtbl.find_opt t.ranges asid with Some l -> !l <> [] | None -> false
+
+let effective t (ctx : Context.t) =
+  if ctx.view = Context.Sys && not (cloak_active t ctx.asid) then Context.app ctx.asid
+  else ctx
+
+(* --- the cloaking engine: page transitions --- *)
+
+let page_bytes t mpn = Phys_mem.page t.mem mpn
+
+let encrypt_page ?(reuse = false) t resource idx (e : Metadata.entry) mpn =
+  let plain = page_bytes t mpn in
+  if reuse then begin
+    (* the page is unmodified since its last encryption: CTR with the same
+       IV reproduces the exact prior ciphertext, so iv/mac/version stay
+       valid and no MAC needs recomputing (the paper's read-only plaintext
+       optimization) *)
+    let cipher = Oscrypto.Aes.ctr_transform t.page_key ~iv:e.iv plain in
+    Phys_mem.load_page t.mem mpn cipher;
+    e.state <- Encrypted;
+    t.counters.clean_reencryptions <- t.counters.clean_reencryptions + 1;
+    Cost.charge_crypto_page t.cost ~bytes_count:Addr.page_size ~hash:false
+  end
+  else begin
+    let iv = Oscrypto.Prng.bytes t.prng 16 in
+    let version = e.version + 1 in
+    let cipher = Oscrypto.Aes.ctr_transform t.page_key ~iv plain in
+    Phys_mem.load_page t.mem mpn cipher;
+    e.iv <- iv;
+    e.version <- version;
+    e.mac <-
+      Oscrypto.Hmac.mac ~key:t.mac_key
+        (Metadata.mac_input ~resource ~idx ~version ~iv ~cipher);
+    e.state <- Encrypted;
+    t.counters.page_encryptions <- t.counters.page_encryptions + 1;
+    t.counters.hash_computes <- t.counters.hash_computes + 1;
+    Cost.charge_crypto_page t.cost ~bytes_count:Addr.page_size ~hash:true
+  end;
+  unmap_view t resource idx Context.App
+
+let decrypt_page t resource idx (e : Metadata.entry) mpn =
+  let cipher = Bytes.copy (page_bytes t mpn) in
+  t.counters.hash_checks <- t.counters.hash_checks + 1;
+  Cost.charge_crypto_page t.cost ~bytes_count:Addr.page_size ~hash:true;
+  let input =
+    Metadata.mac_input ~resource ~idx ~version:e.version ~iv:e.iv ~cipher
+  in
+  if not (Oscrypto.Hmac.verify ~key:t.mac_key ~tag:e.mac input) then
+    Violation.fail Integrity
+      "page %d of %s fails authentication at version %d (tampered or rolled back)"
+      idx (Resource.tag resource) e.version;
+  let plain = Oscrypto.Aes.ctr_transform t.page_key ~iv:e.iv cipher in
+  Phys_mem.load_page t.mem mpn plain;
+  e.state <- Plain { home = mpn; clean = t.cfg.clean_reencrypt };
+  t.counters.page_decryptions <- t.counters.page_decryptions + 1;
+  unmap_view t resource idx Context.Sys
+
+(* Bring a cloaked page into the representation required by [view], raising
+   a security fault when the OS has moved, discarded or corrupted it.
+   Returns whether the resulting App mapping may be writable: clean
+   plaintext maps read-only so the first write traps back here. *)
+let cloak_prepare t ~(view : Context.view) ~(access : Fault.access) ~resource ~idx ~mpn =
+  let e = Metadata.find_or_add t.meta resource idx in
+  match (view, e.state) with
+  | Context.App, Metadata.Zero ->
+      Bytes.fill (page_bytes t mpn) 0 Addr.page_size '\000';
+      e.state <- Plain { home = mpn; clean = false };
+      true
+  | Context.App, Plain ({ home; _ } as p) ->
+      if home <> mpn then
+        if Phys_mem.allocated t.mem home then
+          Violation.fail Relocation
+            "plaintext page %d of %s expected at MPN %d but surfaced at MPN %d"
+            idx (Resource.tag resource) home mpn
+        else
+          Violation.fail Lost_plaintext
+            "plaintext page %d of %s was discarded by the OS before encryption"
+            idx (Resource.tag resource);
+      if p.clean && access = Fault.Write then p.clean <- false;
+      not p.clean
+  | Context.App, Encrypted ->
+      hidden_fault t;
+      decrypt_page t resource idx e mpn;
+      (match e.state with
+      | Plain p when access = Fault.Write -> p.clean <- false
+      | Plain _ | Zero | Encrypted -> ());
+      (match e.state with Plain p -> not p.clean | Zero | Encrypted -> true)
+  | Context.Sys, Metadata.Zero ->
+      hidden_fault t;
+      Bytes.fill (page_bytes t mpn) 0 Addr.page_size '\000';
+      encrypt_page t resource idx e mpn;
+      true
+  | Context.Sys, Plain { home; clean } ->
+      hidden_fault t;
+      if home <> mpn then
+        Violation.fail Relocation
+          "system view of plaintext page %d of %s at wrong MPN (%d, home %d)"
+          idx (Resource.tag resource) mpn home;
+      encrypt_page ~reuse:(clean && t.cfg.clean_reencrypt) t resource idx e mpn;
+      true
+  | Context.Sys, Encrypted -> true
+
+(* --- translation --- *)
+
+let fill t (ctx : Context.t) access vpn table sid =
+  t.counters.shadow_walks <- t.counters.shadow_walks + 1;
+  (* constructing a shadow entry is a VMM trap, much costlier than the
+     hardware walk already charged by [translate] *)
+  charge t (Cost.model t.cost).shadow_fill;
+  let pt =
+    match Hashtbl.find_opt t.page_tables ctx.asid with
+    | Some pt -> pt
+    | None -> invalid_arg (Printf.sprintf "Vmm: asid %d has no page table" ctx.asid)
+  in
+  match Page_table.lookup pt vpn with
+  | None -> Fault.guest_fault vpn access Not_present
+  | Some pte ->
+      if ctx.view = App && not pte.user then
+        Fault.guest_fault vpn access Protection;
+      if access = Fault.Write && not pte.writable then
+        Fault.guest_fault vpn access Protection;
+      pte.accessed <- true;
+      if access = Fault.Write then pte.dirty <- true;
+      let mpn = back_ppn t pte.ppn in
+      let writable_cap =
+        match resource_at t ~asid:ctx.asid ~vpn with
+        | Some (resource, idx) ->
+            Hashtbl.replace t.bound pte.ppn (resource, idx);
+            cloak_prepare t ~view:ctx.view ~access ~resource ~idx ~mpn
+        | None -> true
+      in
+      let spte = { mpn; writable = pte.writable && writable_cap } in
+      Hashtbl.replace table vpn spte;
+      Tlb.insert t.tlb { shadow = sid; vpn; mpn; writable = spte.writable };
+      mpn
+
+let translate t ~ctx ~access ~vpn =
+  let ctx = effective t ctx in
+  let sid = shadow_id t ctx in
+  match Tlb.lookup t.tlb ~shadow:sid ~vpn with
+  | Some e when access = Fault.Read || e.writable ->
+      t.counters.tlb_hits <- t.counters.tlb_hits + 1;
+      e.mpn
+  | Some _ | None -> (
+      t.counters.tlb_misses <- t.counters.tlb_misses + 1;
+      charge t (Cost.model t.cost).shadow_walk;
+      let table = shadow t ctx in
+      match Hashtbl.find_opt table vpn with
+      | Some spte when access = Fault.Read || spte.writable ->
+          Tlb.insert t.tlb { shadow = sid; vpn; mpn = spte.mpn; writable = spte.writable };
+          spte.mpn
+      | Some _ | None -> fill t ctx access vpn table sid)
+
+(* --- virtual access --- *)
+
+let iter_segments vaddr len f =
+  let pos = ref 0 in
+  while !pos < len do
+    let va = vaddr + !pos in
+    let vpn = Addr.vpn_of_vaddr va in
+    let off = Addr.offset_of_vaddr va in
+    let chunk = min (Addr.page_size - off) (len - !pos) in
+    f ~vpn ~off ~pos:!pos ~chunk;
+    pos := !pos + chunk
+  done
+
+let read t ~ctx ~vaddr ~len =
+  let out = Bytes.create len in
+  iter_segments vaddr len (fun ~vpn ~off ~pos ~chunk ->
+      let mpn = translate t ~ctx ~access:Fault.Read ~vpn in
+      Bytes.blit (page_bytes t mpn) off out pos chunk;
+      charge t ((Cost.model t.cost).mem_access * ((chunk + 7) / 8)));
+  out
+
+let write t ~ctx ~vaddr data =
+  let len = Bytes.length data in
+  iter_segments vaddr len (fun ~vpn ~off ~pos ~chunk ->
+      let mpn = translate t ~ctx ~access:Fault.Write ~vpn in
+      Bytes.blit data pos (page_bytes t mpn) off chunk;
+      charge t ((Cost.model t.cost).mem_access * ((chunk + 7) / 8)))
+
+let read_byte t ~ctx ~vaddr =
+  let mpn = translate t ~ctx ~access:Fault.Read ~vpn:(Addr.vpn_of_vaddr vaddr) in
+  charge t (Cost.model t.cost).mem_access;
+  Phys_mem.get_byte t.mem mpn ~off:(Addr.offset_of_vaddr vaddr)
+
+let write_byte t ~ctx ~vaddr v =
+  let mpn = translate t ~ctx ~access:Fault.Write ~vpn:(Addr.vpn_of_vaddr vaddr) in
+  charge t (Cost.model t.cost).mem_access;
+  Phys_mem.set_byte t.mem mpn ~off:(Addr.offset_of_vaddr vaddr) v
+
+let touch t ~ctx ~access ~vaddr ~len =
+  iter_segments vaddr len (fun ~vpn ~off:_ ~pos:_ ~chunk ->
+      ignore (translate t ~ctx ~access ~vpn);
+      charge t ((Cost.model t.cost).mem_access * ((chunk + 7) / 8)))
+
+(* --- physmap access (kernel / DMA view of guest-physical pages) --- *)
+
+let phys_view t ppn =
+  let mpn = back_ppn t ppn in
+  (match Hashtbl.find_opt t.bound ppn with
+  | None -> ()
+  | Some (resource, idx) -> (
+      match Metadata.find t.meta resource idx with
+      | None -> Hashtbl.remove t.bound ppn
+      | Some e -> (
+          match e.state with
+          | Plain { home; clean } when home = mpn ->
+              hidden_fault t;
+              encrypt_page ~reuse:(clean && t.cfg.clean_reencrypt) t resource idx e mpn
+          | Plain _ | Zero -> Hashtbl.remove t.bound ppn
+          | Encrypted -> ())));
+  mpn
+
+let phys_read t ppn ~off ~len =
+  let mpn = phys_view t ppn in
+  charge_copy t ~bytes_count:len;
+  Phys_mem.read t.mem mpn ~off ~len
+
+let phys_write t ppn ~off data =
+  let mpn = phys_view t ppn in
+  charge_copy t ~bytes_count:(Bytes.length data);
+  Phys_mem.write t.mem mpn ~off data
+
+(* --- shadow / TLB maintenance --- *)
+
+let invlpg t ~asid ~vpn =
+  List.iter
+    (fun view ->
+      match Hashtbl.find_opt t.shadows (asid, view) with
+      | Some table -> Hashtbl.remove table vpn
+      | None -> ())
+    [ Context.App; Context.Sys ];
+  Tlb.flush_vpn t.tlb ~vpn
+
+let flush_asid t ~asid =
+  drop_shadow t (asid, Context.App);
+  drop_shadow t (asid, Context.Sys)
+
+let destroy_address_space t ~asid =
+  flush_asid t ~asid;
+  Hashtbl.remove t.page_tables asid;
+  Hashtbl.remove t.ranges asid
+
+let switch_to t ctx =
+  let ctx = effective t ctx in
+  match t.current with
+  | Some c when Context.equal c ctx -> ()
+  | _ ->
+      t.current <- Some ctx;
+      t.counters.context_switches <- t.counters.context_switches + 1;
+      world_switch t;
+      if not t.cfg.multi_shadow then begin
+        (* A single-shadow VMM has exactly one hardware shadow: switching
+           contexts discards all derived translations. *)
+        Hashtbl.clear t.shadows;
+        Tlb.flush_all t.tlb
+      end
+
+(* --- resource lifecycle --- *)
+
+let uncloak_resource t resource =
+  Metadata.iter_resource t.meta resource (fun _idx e ->
+      match e.state with
+      | Plain { home; _ } when Phys_mem.allocated t.mem home ->
+          Bytes.fill (page_bytes t home) 0 Addr.page_size '\000'
+      | Plain _ | Zero | Encrypted -> ());
+  Metadata.drop_resource t.meta resource;
+  Hashtbl.iter
+    (fun _asid l -> l := List.filter (fun r -> not (Resource.equal r.resource resource)) !l)
+    t.ranges;
+  let stale =
+    Hashtbl.fold
+      (fun ppn (r, _) acc -> if Resource.equal r resource then ppn :: acc else acc)
+      t.bound []
+  in
+  List.iter (Hashtbl.remove t.bound) stale
+
+let drop_cloaked_pages t resource ~base_idx ~pages =
+  for idx = base_idx to base_idx + pages - 1 do
+    (match Metadata.find t.meta resource idx with
+    | Some { state = Plain { home; _ }; _ } when Phys_mem.allocated t.mem home ->
+        Bytes.fill (page_bytes t home) 0 Addr.page_size '\000'
+    | Some _ | None -> ());
+    Metadata.remove t.meta resource idx
+  done
+
+let seal_resource t resource =
+  Metadata.iter_resource t.meta resource (fun idx e ->
+      match e.state with
+      | Plain { home; clean } ->
+          hidden_fault t;
+          encrypt_page ~reuse:(clean && t.cfg.clean_reencrypt) t resource idx e home
+      | Zero | Encrypted -> ())
+
+let clone_cloaked t ~src_asid ~dst_asid =
+  let src = Resource.Anon src_asid and dst = Resource.Anon dst_asid in
+  let dst_pt = page_table t ~asid:dst_asid in
+  Metadata.iter_resource t.meta src (fun idx e ->
+      let dst_entry = Metadata.find_or_add t.meta dst idx in
+      match e.state with
+      | Zero -> dst_entry.state <- Zero
+      | Plain _ | Encrypted -> (
+          (* The kernel's fork path copied the page through its Sys view, so
+             the child holds ciphertext authenticated under the parent's
+             identity; verify it, then re-key it to the child. The parent
+             entry keeps its own state: a Plain parent page simply means the
+             parent re-decrypted after the copy, which does not disturb the
+             iv/mac/version the copy was made under. *)
+          let vpn = ref None in
+          iter_placements t dst idx (fun asid v -> if asid = dst_asid then vpn := Some v);
+          match !vpn with
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Vmm.clone_cloaked: page %d of %s has no placement in child"
+                   idx (Resource.tag dst))
+          | Some vpn -> (
+              match Page_table.lookup dst_pt vpn with
+              | None -> ()  (* child page not copied (e.g. beyond brk): leave untracked *)
+              | Some pte ->
+                  let mpn = back_ppn t pte.ppn in
+                  let cipher = Bytes.copy (page_bytes t mpn) in
+                  t.counters.hash_checks <- t.counters.hash_checks + 1;
+                  Cost.charge_crypto_page t.cost ~bytes_count:Addr.page_size ~hash:true;
+                  let input =
+                    Metadata.mac_input ~resource:src ~idx ~version:e.version ~iv:e.iv ~cipher
+                  in
+                  if not (Oscrypto.Hmac.verify ~key:t.mac_key ~tag:e.mac input) then
+                    Violation.fail Integrity
+                      "fork: copied page %d of %s fails authentication" idx
+                      (Resource.tag src);
+                  let plain = Oscrypto.Aes.ctr_transform t.page_key ~iv:e.iv cipher in
+                  Phys_mem.load_page t.mem mpn plain;
+                  Hashtbl.replace t.bound pte.ppn (dst, idx);
+                  dst_entry.state <- Plain { home = mpn; clean = false };
+                  encrypt_page t dst idx dst_entry mpn)))
+
+(* --- protected metadata persistence --- *)
+
+let blob_magic = "OVSHM1"
+
+let export_metadata t resource ~pages ~logical_size =
+  seal_resource t resource;
+  let id =
+    match resource with
+    | Resource.Shm id -> id
+    | Anon _ -> invalid_arg "Vmm.export_metadata: only shm objects are persistent"
+  in
+  let generation = (Option.value ~default:0 (Hashtbl.find_opt t.generations id)) + 1 in
+  Hashtbl.replace t.generations id generation;
+  let buf = Buffer.create (64 + (pages * 57)) in
+  Buffer.add_string buf
+    (Printf.sprintf "%s|%s|%d|%d|%d\n" blob_magic (Resource.tag resource) generation
+       logical_size pages);
+  for idx = 0 to pages - 1 do
+    match Metadata.find t.meta resource idx with
+    | Some ({ state = Encrypted; _ } as e) ->
+        Buffer.add_char buf 'E';
+        Buffer.add_string buf (Printf.sprintf "%016x" e.version);
+        Buffer.add_bytes buf e.iv;
+        Buffer.add_bytes buf e.mac
+    | Some _ | None ->
+        Buffer.add_char buf 'Z';
+        Buffer.add_string buf (String.make 16 '0');
+        Buffer.add_string buf (String.make 48 '\000')
+  done;
+  let body = Buffer.to_bytes buf in
+  let tag = Oscrypto.Hmac.mac ~key:t.mac_key body in
+  Bytes.cat body tag
+
+type imported = { resource : Resource.t; logical_size : int; pages : int }
+
+let import_metadata t blob =
+  let total = Bytes.length blob in
+  if total < 32 then Violation.fail Metadata_forged "metadata blob truncated";
+  let body = Bytes.sub blob 0 (total - 32) in
+  let tag = Bytes.sub blob (total - 32) 32 in
+  if not (Oscrypto.Hmac.verify ~key:t.mac_key ~tag body) then
+    Violation.fail Metadata_forged "metadata blob fails authentication";
+  let header_end =
+    match Bytes.index_opt body '\n' with
+    | Some i -> i
+    | None -> Violation.fail Metadata_forged "metadata blob missing header"
+  in
+  let header = Bytes.sub_string body 0 header_end in
+  let id, generation, logical_size, pages =
+    match String.split_on_char '|' header with
+    | [ magic; tag'; generation; size; pages ] when magic = blob_magic -> (
+        match String.split_on_char ':' tag' with
+        | [ "shm"; id ] ->
+            ( int_of_string id,
+              int_of_string generation,
+              int_of_string size,
+              int_of_string pages )
+        | _ -> Violation.fail Metadata_forged "metadata blob has non-shm resource")
+    | _ -> Violation.fail Metadata_forged "metadata blob header malformed"
+  in
+  (match Hashtbl.find_opt t.generations id with
+  | Some current when generation < current ->
+      Violation.fail Metadata_forged
+        "metadata blob for shm:%d is stale (generation %d, current %d)" id generation
+        current
+  | Some _ | None -> Hashtbl.replace t.generations id generation);
+  let resource = Resource.Shm id in
+  if id >= t.next_shm then t.next_shm <- id + 1;
+  Metadata.drop_resource t.meta resource;
+  let pos = ref (header_end + 1) in
+  for idx = 0 to pages - 1 do
+    let flag = Bytes.get body !pos in
+    let version = int_of_string ("0x" ^ Bytes.sub_string body (!pos + 1) 16) in
+    let iv = Bytes.sub body (!pos + 17) 16 in
+    let mac = Bytes.sub body (!pos + 33) 32 in
+    pos := !pos + 65;
+    let e = Metadata.find_or_add t.meta resource idx in
+    match flag with
+    | 'Z' -> e.state <- Zero
+    | 'E' ->
+        e.state <- Encrypted;
+        e.version <- version;
+        e.iv <- iv;
+        e.mac <- mac
+    | _ -> Violation.fail Metadata_forged "metadata blob has corrupt page record"
+  done;
+  { resource; logical_size; pages }

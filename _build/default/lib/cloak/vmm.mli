@@ -1,0 +1,154 @@
+(** The virtual machine monitor: multi-shadowing plus the cloaking engine.
+
+    This is the paper's primary contribution. The VMM owns machine memory
+    and interposes on every guest memory access through per-(asid, view)
+    shadow page tables. Cloaked pages transition between plaintext and
+    ciphertext as ownership of the view changes:
+
+    - an access from the owning application's [App] view yields plaintext
+      (decrypting and verifying if needed);
+    - an access from any [Sys] view — guest kernel, other processes,
+      simulated DMA — first encrypts the page under a fresh IV and records
+      {iv, mac, version} in VMM-private metadata.
+
+    The guest OS continues to manage memory normally (paging, copying,
+    caching); it simply never observes plaintext, and any modification,
+    relocation, or replay of protected pages is detected when the
+    application next touches them. *)
+
+open Machine
+
+type config = {
+  multi_shadow : bool;
+      (** when false, model a classic single-shadow VMM that must discard
+          its shadow page tables on every context switch (the E6 baseline) *)
+  clean_reencrypt : bool;
+      (** the read-only plaintext optimization: decrypted pages map
+          read-only until first write, and unmodified pages re-encrypt
+          deterministically (same IV/version/MAC, AES-only cost). Disable
+          for the E10 ablation. *)
+  mem_pages : int;        (** machine memory size in 4 KiB pages *)
+  tlb_slots : int;
+  cost_model : Cost.model;
+  seed : int;             (** PRNG seed for IVs; determinism knob *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+val cost : t -> Cost.t
+val counters : t -> Counters.t
+val mem : t -> Phys_mem.t
+
+(** {1 Address spaces} *)
+
+val register_address_space : t -> Page_table.t -> unit
+(** Make a guest page table visible to the VMM (CR3-registration analogue). *)
+
+val destroy_address_space : t -> asid:int -> unit
+(** Drop shadows, TLB entries and registration for an address space. *)
+
+val page_table : t -> asid:int -> Page_table.t
+(** Raises [Not_found] if the asid is not registered. *)
+
+(** {1 Guest physical memory} *)
+
+val back_ppn : t -> Addr.ppn -> Addr.mpn
+(** The machine page backing a guest physical page, allocated on first use. *)
+
+val release_ppn : t -> Addr.ppn -> unit
+(** Free the backing machine page (scrubbed). Any cloaked plaintext that
+    lived there is gone; a later owner access reports {!Violation.Lost_plaintext}
+    unless the page was properly encrypted first. *)
+
+val phys_read : t -> Addr.ppn -> off:int -> len:int -> bytes
+(** Kernel/DMA access to a physical page ("physmap"), always a [Sys] view:
+    touching a plaintext cloaked page through here encrypts it first. *)
+
+val phys_write : t -> Addr.ppn -> off:int -> bytes -> unit
+
+(** {1 Virtual memory access} *)
+
+val read : t -> ctx:Context.t -> vaddr:Addr.vaddr -> len:int -> bytes
+(** May raise {!Machine.Fault.Guest_page_fault} (to be handled by the guest
+    OS) or {!Violation.Security_fault}. *)
+
+val write : t -> ctx:Context.t -> vaddr:Addr.vaddr -> bytes -> unit
+val read_byte : t -> ctx:Context.t -> vaddr:Addr.vaddr -> int
+val write_byte : t -> ctx:Context.t -> vaddr:Addr.vaddr -> int -> unit
+
+val touch : t -> ctx:Context.t -> access:Fault.access -> vaddr:Addr.vaddr -> len:int -> unit
+(** Translate (and charge for) an access without materializing data — the
+    fast path for compute-bound workload inner loops. *)
+
+(** {1 Shadow and TLB maintenance (guest-visible MMU operations)} *)
+
+val invlpg : t -> asid:int -> vpn:Addr.vpn -> unit
+(** The guest OS must call this after changing a PTE, as real kernels issue
+    INVLPG; the VMM drops the derived shadow entries. *)
+
+val flush_asid : t -> asid:int -> unit
+val switch_to : t -> Context.t -> unit
+(** Announce that execution moves to a new context (CR3-switch analogue).
+    Under [multi_shadow:false] this discards all shadow state. *)
+
+(** {1 Cloaking control (reached via shim hypercalls)} *)
+
+val cloak_range :
+  t -> asid:int -> resource:Resource.t -> start_vpn:Addr.vpn -> pages:int -> base_idx:int -> unit
+(** Declare that [pages] pages of [resource], starting at page [base_idx],
+    are mapped at [start_vpn] in address space [asid]. *)
+
+val uncloak_range : t -> asid:int -> start_vpn:Addr.vpn -> unit
+(** Remove a previously declared placement (munmap analogue). *)
+
+val resource_at : t -> asid:int -> vpn:Addr.vpn -> (Resource.t * int) option
+
+val uncloak_resource : t -> Resource.t -> unit
+(** Tear down a resource: scrub any plaintext homes, drop metadata and
+    placements (process exit / object destruction). *)
+
+val fresh_shm : t -> Resource.t
+
+val drop_cloaked_pages : t -> Resource.t -> base_idx:int -> pages:int -> unit
+(** Scrub and forget the metadata of a span of pages (munmap of a cloaked
+    placement): plaintext homes are zeroed before the records are dropped. *)
+
+val seal_resource : t -> Resource.t -> unit
+(** Force every plaintext page of the resource to the encrypted state so
+    the guest kernel can persist a consistent ciphertext image. *)
+
+val clone_cloaked : t -> src_asid:int -> dst_asid:int -> unit
+(** Cloaked fork support: after the guest kernel has copied the (encrypted)
+    pages and built the child's page table, re-key every copied page from
+    the parent's anon resource to the child's, verifying each page against
+    the parent's metadata. Expensive by design — two crypto passes per
+    resident page — matching the paper's fork cost. *)
+
+(** {1 Protected object metadata persistence (cloaked file I/O)} *)
+
+val export_metadata : t -> Resource.t -> pages:int -> logical_size:int -> bytes
+(** Seal the resource and serialize its per-page metadata, authenticated by
+    the VMM secret and stamped with a freshness generation. The blob is
+    safe to store in an ordinary (OS-visible) file. *)
+
+type imported = { resource : Resource.t; logical_size : int; pages : int }
+
+val import_metadata : t -> bytes -> imported
+(** Verify and install an exported metadata blob. Raises
+    {!Violation.Security_fault} with [Metadata_forged] on tampering or on
+    replay of a stale generation. *)
+
+(** {1 Charging helpers for upper layers} *)
+
+val charge : t -> int -> unit
+val charge_copy : t -> bytes_count:int -> unit
+val hypercall : t -> unit
+val world_switch : t -> unit
+val syscall_trap : t -> unit
+val timer_tick : t -> unit
+val guest_fault_charge : t -> unit
+(** Cost of the guest OS taking and returning from an injected fault. *)

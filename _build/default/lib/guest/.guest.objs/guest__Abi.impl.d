@@ -1,0 +1,1 @@
+lib/guest/abi.ml: Cloak Effect Errno Hashtbl Machine

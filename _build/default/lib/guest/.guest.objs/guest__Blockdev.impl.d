@@ -1,0 +1,1 @@
+lib/guest/blockdev.ml: Addr Array Bytes Cloak Cost Errno Machine

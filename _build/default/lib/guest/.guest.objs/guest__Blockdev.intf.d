@@ -1,0 +1,1 @@
+lib/guest/blockdev.mli: Cloak Machine

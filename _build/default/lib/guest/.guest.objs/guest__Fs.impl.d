@@ -1,0 +1,1 @@
+lib/guest/fs.ml: Addr Blockdev Bytes Cloak Errno Hashtbl List Machine String

@@ -1,0 +1,1 @@
+lib/guest/kernel.ml: Abi Addr Blockdev Cloak Cost Effect Errno Fault Fs Hashtbl List Machine Obj Page_table Pipe Printf Queue Result String

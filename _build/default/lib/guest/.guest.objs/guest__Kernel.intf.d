@@ -1,0 +1,1 @@
+lib/guest/kernel.mli: Abi Blockdev Cloak Fs

@@ -1,0 +1,1 @@
+lib/guest/pipe.ml: Bytes Cloak

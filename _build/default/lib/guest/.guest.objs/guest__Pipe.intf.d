@@ -1,0 +1,1 @@
+lib/guest/pipe.mli: Cloak Machine

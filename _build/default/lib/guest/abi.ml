@@ -1,0 +1,95 @@
+(* The guest kernel's system-call ABI: the vocabulary shared between user
+   programs (lib/uapi, lib/shim) and the kernel (Kernel). Programs are OCaml
+   closures over an [env]; they reach the kernel by performing the [Syscall]
+   effect, normally through [env.dispatch] so the shim can interpose. *)
+
+type open_flag = O_RDONLY | O_WRONLY | O_RDWR | O_CREAT | O_TRUNC | O_APPEND
+
+type whence = Seek_set | Seek_cur | Seek_end
+
+type stat = { st_inode : int; st_size : int; st_kind : [ `File | `Dir ] }
+
+type disposition = Default | Ignore | Handled
+
+(* Signal numbers (the kernel only distinguishes these). *)
+let sigkill = 9
+let sigusr1 = 10
+let sigpipe = 13
+let sigterm = 15
+
+type call =
+  | Getpid
+  | Getppid
+  | Yield
+  | Tick
+      (** preemption point issued by the user-level compute loop; models the
+          periodic timer interrupt *)
+  | Exit of int
+  | Fork of program
+  | Exec of { prog : program; cloak : bool option }
+      (** replace the image; [cloak = Some b] switches the process's cloaking
+          (the analogue of exec-ing an encrypted vs ordinary binary) *)
+  | Wait
+  | Sbrk of int  (** grow the heap by n pages; returns the old break VPN *)
+  | Mmap of { pages : int; cloaked : bool }
+  | Munmap of { start_vpn : int; pages : int }
+  | Open of { path : string; flags : open_flag list }
+  | Close of int
+  | Read of { fd : int; vaddr : int; len : int }
+  | Write of { fd : int; vaddr : int; len : int }
+  | Lseek of { fd : int; pos : int; whence : whence }
+  | Stat of string
+  | Fstat of int
+  | Unlink of string
+  | Rename of { src : string; dst : string }
+  | Mkdir of string
+  | Readdir of string
+  | Pipe
+  | Dup of int
+  | Kill of { pid : int; signum : int }
+  | Signal of { signum : int; disposition : disposition }
+  | Sync
+  | Fault of Machine.Fault.page_fault
+      (** not a real syscall: how the user-level access loop reports a page
+          fault to the kernel for resolution *)
+
+and value =
+  | Unit
+  | Int of int
+  | Pair of int * int
+  | Names of string list
+  | Stat_v of stat
+  | Err of Errno.t
+  | Signaled of int * value
+      (** a pending signal to run the user handler for, wrapping the real
+          result; unwrapped by the user-level dispatch loop *)
+
+and program = env -> unit
+
+and env = {
+  vmm : Cloak.Vmm.t;
+  pid : int;
+  asid : int;
+  mutable cloaked : bool;
+      (** may change at exec: cloaking follows the binary being executed *)
+  mutable dispatch : call -> value;
+      (** how this program issues syscalls; the shim replaces it to marshal
+          buffers through uncloaked memory *)
+  handlers : (int, int -> unit) Hashtbl.t;
+      (** user-level signal handlers, run by the dispatch loop *)
+  mutable heap_base_vaddr : int;
+  mutable heap_cursor : int;  (** user-level bump allocator within the heap *)
+  quantum : int;
+      (** cycles of compute between timer ticks; set from the kernel config
+          so the user-level compute loop paces its [Tick]s correctly *)
+}
+
+type _ Effect.t += Syscall : call -> value Effect.t
+
+exception Exited of int
+(** Unwinds the user stack when the process exits or is killed. *)
+
+exception Exec_replace of program
+(** Unwinds the user stack when exec installs a fresh program image. *)
+
+let perform_syscall call = Effect.perform (Syscall call)

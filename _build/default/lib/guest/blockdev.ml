@@ -1,0 +1,59 @@
+open Machine
+
+type t = {
+  vmm : Cloak.Vmm.t;
+  store : bytes array;
+  mutable free : int list;
+  mutable next_fresh : int;
+}
+
+let create ~vmm ~blocks =
+  if blocks <= 0 then invalid_arg "Blockdev.create: blocks must be positive";
+  {
+    vmm;
+    store = Array.init blocks (fun _ -> Bytes.make Addr.page_size '\000');
+    free = [];
+    next_fresh = 0;
+  }
+
+let block_count t = Array.length t.store
+
+let alloc_block t =
+  if t.next_fresh < Array.length t.store then begin
+    let b = t.next_fresh in
+    t.next_fresh <- t.next_fresh + 1;
+    b
+  end
+  else
+    match t.free with
+    | b :: rest ->
+        t.free <- rest;
+        b
+    | [] -> raise (Errno.Error ENOSPC)
+
+let free_block t b =
+  Bytes.fill t.store.(b) 0 Addr.page_size '\000';
+  t.free <- b :: t.free
+
+let charge_disk t =
+  Cloak.Vmm.charge t.vmm (Cost.model (Cloak.Vmm.cost t.vmm)).disk_op
+
+let read_block t b ~ppn =
+  charge_disk t;
+  (Cloak.Vmm.counters t.vmm).disk_reads <-
+    (Cloak.Vmm.counters t.vmm).disk_reads + 1;
+  Cloak.Vmm.phys_write t.vmm ppn ~off:0 t.store.(b)
+
+let write_block t b ~ppn =
+  charge_disk t;
+  (Cloak.Vmm.counters t.vmm).disk_writes <-
+    (Cloak.Vmm.counters t.vmm).disk_writes + 1;
+  let data = Cloak.Vmm.phys_read t.vmm ppn ~off:0 ~len:Addr.page_size in
+  Bytes.blit data 0 t.store.(b) 0 Addr.page_size
+
+let peek t b = Bytes.copy t.store.(b)
+
+let poke t b data =
+  if Bytes.length data <> Addr.page_size then
+    invalid_arg "Blockdev.poke: data must be one block";
+  Bytes.blit data 0 t.store.(b) 0 Addr.page_size

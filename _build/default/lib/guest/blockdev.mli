@@ -1,0 +1,27 @@
+(** Simulated block device with page-sized blocks. Transfers go through the
+    VMM's physmap path, so DMA of a cloaked plaintext page encrypts it first
+    — disk contents of protected pages are always ciphertext. The raw store
+    is inspectable ([peek]/[poke]) for the security experiments: it is what
+    a malicious OS or a disk thief can see and corrupt. *)
+
+type t
+
+val create : vmm:Cloak.Vmm.t -> blocks:int -> t
+val block_count : t -> int
+
+val alloc_block : t -> int
+(** Allocate a free block. Raises [Errno.Error ENOSPC] when full. *)
+
+val free_block : t -> int -> unit
+
+val read_block : t -> int -> ppn:Machine.Addr.ppn -> unit
+(** DMA one block into a guest physical page. *)
+
+val write_block : t -> int -> ppn:Machine.Addr.ppn -> unit
+(** DMA one guest physical page to a block. *)
+
+val peek : t -> int -> bytes
+(** Raw block contents, as visible to an adversary with the disk. *)
+
+val poke : t -> int -> bytes -> unit
+(** Overwrite raw block contents (tampering). *)

@@ -1,0 +1,33 @@
+type t =
+  | ENOENT
+  | EEXIST
+  | EBADF
+  | EINVAL
+  | ENOMEM
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | EPIPE
+  | ECHILD
+  | ESRCH
+  | EACCES
+  | ENOSPC
+
+let to_string = function
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | EBADF -> "EBADF"
+  | EINVAL -> "EINVAL"
+  | ENOMEM -> "ENOMEM"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | EPIPE -> "EPIPE"
+  | ECHILD -> "ECHILD"
+  | ESRCH -> "ESRCH"
+  | EACCES -> "EACCES"
+  | ENOSPC -> "ENOSPC"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+exception Error of t

@@ -1,0 +1,23 @@
+(** Error codes returned by guest kernel services, mirroring the POSIX
+    errnos the toy kernel needs. *)
+
+type t =
+  | ENOENT
+  | EEXIST
+  | EBADF
+  | EINVAL
+  | ENOMEM
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | EPIPE
+  | ECHILD
+  | ESRCH
+  | EACCES
+  | ENOSPC
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+exception Error of t
+(** Raised by the user-level API when a syscall fails. *)

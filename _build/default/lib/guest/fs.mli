@@ -1,0 +1,69 @@
+(** A small inode-based filesystem with a page cache.
+
+    Metadata (inodes, directories) is kernel-private; file *data* lives in
+    guest physical pages (the page cache) and on the block device, so every
+    byte of file content moves through the VMM's cloak-aware paths: copies
+    to and from user buffers take the kernel's [Sys] view of user memory,
+    and writeback DMA sees ciphertext for protected pages. *)
+
+type t
+
+val create :
+  vmm:Cloak.Vmm.t ->
+  dev:Blockdev.t ->
+  alloc_ppn:(unit -> Machine.Addr.ppn) ->
+  free_ppn:(Machine.Addr.ppn -> unit) ->
+  t
+
+(** {1 Namespace} *)
+
+val mkdir : t -> string -> (unit, Errno.t) result
+val create_file : t -> string -> (int, Errno.t) result
+(** Create (or truncate-open) a regular file; returns its inode. *)
+
+val lookup : t -> string -> (int, Errno.t) result
+val unlink : t -> string -> (unit, Errno.t) result
+
+val rename : t -> src:string -> dst:string -> (unit, Errno.t) result
+(** Atomically move [src] over [dst]; replaces a regular file at [dst]
+    (freeing its storage), refuses to replace a directory. *)
+
+val readdir : t -> string -> (string list, Errno.t) result
+
+val kind : t -> int -> [ `File | `Dir ]
+val size : t -> int -> int
+
+(** {1 Data} *)
+
+val read :
+  t -> ctx:Cloak.Context.t -> inode:int -> pos:int -> vaddr:Machine.Addr.vaddr ->
+  len:int -> (int, Errno.t) result
+(** Copy up to [len] bytes at [pos] into user memory through [ctx]
+    (normally the kernel's Sys view of the calling address space). Returns
+    bytes copied; 0 at EOF. May raise [Guest_page_fault] on the user
+    buffer, to be resolved by the kernel and retried. *)
+
+val write :
+  t -> ctx:Cloak.Context.t -> inode:int -> pos:int -> vaddr:Machine.Addr.vaddr ->
+  len:int -> (int, Errno.t) result
+
+val read_host : t -> inode:int -> pos:int -> len:int -> (bytes, Errno.t) result
+(** Kernel-internal read (no user buffer); used by tests and loaders. *)
+
+val write_host : t -> inode:int -> pos:int -> bytes -> (int, Errno.t) result
+
+val truncate : t -> inode:int -> (unit, Errno.t) result
+
+(** {1 Writeback} *)
+
+val sync : t -> unit
+(** Write all dirty page-cache pages to the block device. *)
+
+val drop_caches : t -> unit
+(** Sync, then release every page-cache page (so subsequent reads do real
+    DMA — used to exercise the disk path and by memory-pressure tests). *)
+
+val cached_pages : t -> int
+val block_of_page : t -> inode:int -> idx:int -> int option
+(** The device block backing a file page, if assigned — lets the attack
+    experiments find and tamper with on-disk ciphertext. *)

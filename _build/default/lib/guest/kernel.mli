@@ -1,0 +1,50 @@
+(** The guest "commodity" kernel.
+
+    A deliberately conventional Unix-like kernel — processes, round-robin
+    scheduling, demand paging with swap, an inode filesystem with a page
+    cache, pipes, signals, thirty-odd syscalls — running entirely on VMM-
+    mediated memory. It manages the pages of cloaked applications without
+    being able to read them, which is the point of the paper.
+
+    Programs are OCaml closures performing the {!Abi.Syscall} effect; each
+    process runs as an effect-handled fiber, and the scheduler trampoline
+    keeps the host stack flat no matter how many syscalls a workload makes. *)
+
+type config = {
+  quantum : int;        (** model cycles of compute between timer ticks *)
+  guest_pages : int;    (** guest physical memory the kernel may allocate *)
+  pipe_capacity : int;
+  fs_blocks : int;
+  swap_blocks : int;
+}
+
+val default_config : config
+
+type t
+
+exception Deadlock of string
+(** Raised by {!run} when no process is runnable but some are blocked. *)
+
+val create : ?config:config -> Cloak.Vmm.t -> t
+val vmm : t -> Cloak.Vmm.t
+val fs : t -> Fs.t
+val disk : t -> Blockdev.t
+val swap_device : t -> Blockdev.t
+val transfer : t -> Cloak.Transfer.t
+val config : t -> config
+
+val spawn : t -> ?cloaked:bool -> Abi.program -> int
+(** Create a process (optionally cloaked) ready to run; returns its pid. *)
+
+val run : t -> unit
+(** Drive the scheduler until every process has exited. *)
+
+val exit_status : t -> pid:int -> int option
+(** The recorded exit status of a finished process. Security-fault victims
+    report status [-2]; segfaults 139; killed by signal [128 + signum]. *)
+
+val violations : t -> (int * Cloak.Violation.t) list
+(** Security faults the VMM raised, with the victim pid, newest first. *)
+
+val proc_count : t -> int
+(** Processes not yet fully reaped (for tests). *)

@@ -1,0 +1,46 @@
+(** Experiment driver shared by the benchmark harness, the examples and the
+    CLI: builds a fresh VMM + kernel stack, runs a scenario, and reports
+    deterministic cycle counts and event counters. *)
+
+type result = {
+  cycles : int;                 (** model cycles consumed by the scenario *)
+  counters : Machine.Counters.t;(** event deltas over the scenario *)
+  exit_statuses : (int * int option) list;  (** per spawned pid *)
+  violations : (int * Cloak.Violation.t) list;
+}
+
+val run :
+  ?vconfig:Cloak.Vmm.config ->
+  ?kconfig:Guest.Kernel.config ->
+  spawn:(Guest.Kernel.t -> int list) ->
+  unit ->
+  result
+(** Create a stack, let [spawn] start processes (returning their pids) and
+    run to completion. Counter and cycle deltas cover the whole run. *)
+
+val run_program :
+  ?vconfig:Cloak.Vmm.config ->
+  ?kconfig:Guest.Kernel.config ->
+  ?cloaked:bool ->
+  Guest.Abi.program ->
+  result
+(** Single-process convenience wrapper. *)
+
+val all_exited_zero : result -> bool
+
+(** {1 Table rendering} *)
+
+module Table : sig
+  val print :
+    title:string -> ?note:string -> headers:string list -> string list list -> unit
+  (** Fixed-width aligned table on stdout. *)
+
+  val ratio : int -> int -> string
+  (** ["3.42x"] formatting of a slowdown factor. *)
+
+  val percent_overhead : base:int -> int -> string
+  (** ["+2.3%"] formatting of (value - base) / base. *)
+
+  val cycles : int -> string
+  (** Human-readable cycle count ("1.24 Mcy"). *)
+end

@@ -1,0 +1,1 @@
+lib/machine/page_table.ml: Addr Hashtbl

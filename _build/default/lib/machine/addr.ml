@@ -1,0 +1,14 @@
+type vpn = int
+type ppn = int
+type mpn = int
+type vaddr = int
+
+let page_shift = 12
+let page_size = 1 lsl page_shift
+let vpn_of_vaddr addr = addr lsr page_shift
+let offset_of_vaddr addr = addr land (page_size - 1)
+let vaddr_of_vpn vpn = vpn lsl page_shift
+
+let pages_spanned addr len =
+  if len = 0 then 0
+  else vpn_of_vaddr (addr + len - 1) - vpn_of_vaddr addr + 1

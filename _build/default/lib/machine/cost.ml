@@ -1,0 +1,46 @@
+type model = {
+  mem_access : int;
+  shadow_walk : int;
+  shadow_fill : int;
+  guest_fault : int;
+  hidden_fault : int;
+  world_switch : int;
+  hypercall : int;
+  syscall_trap : int;
+  context_save : int;
+  aes_byte : int;
+  sha_byte : int;
+  disk_op : int;
+  copy_word : int;
+  timer_interrupt : int;
+}
+
+let default =
+  {
+    mem_access = 1;
+    shadow_walk = 30;
+    shadow_fill = 800;
+    guest_fault = 600;
+    hidden_fault = 800;
+    world_switch = 2000;
+    hypercall = 2200;
+    syscall_trap = 300;
+    context_save = 400;
+    aes_byte = 12;
+    sha_byte = 14;
+    disk_op = 15000;
+    copy_word = 1;
+    timer_interrupt = 900;
+  }
+
+type t = { m : model; mutable cycles : int }
+
+let create ?(model = default) () = { m = model; cycles = 0 }
+let model t = t.m
+let charge t n = t.cycles <- t.cycles + n
+let cycles t = t.cycles
+let reset t = t.cycles <- 0
+
+let charge_crypto_page t ~bytes_count ~hash =
+  charge t (t.m.aes_byte * bytes_count);
+  if hash then charge t (t.m.sha_byte * bytes_count)

@@ -1,0 +1,41 @@
+(** Deterministic cycle-cost model.
+
+    The original system measured wall-clock time on 2008 x86 hardware; this
+    reproduction substitutes a deterministic cycle account so that every
+    experiment is exactly reproducible. Constants are chosen so the
+    *ratios* between operations match published latency relationships
+    (memory access ≪ page walk ≪ trap ≪ world switch ≪ page crypto ≪ disk).
+    All experiment results are reported as ratios, never absolute time. *)
+
+type model = {
+  mem_access : int;      (** one load/store that hits the TLB *)
+  shadow_walk : int;     (** TLB miss serviced from the shadow page table *)
+  shadow_fill : int;     (** VMM trap to construct a missing shadow entry
+                             (the dominant cost a single-shadow VMM pays
+                             after every context switch) *)
+  guest_fault : int;     (** fault injected into and handled by the guest OS *)
+  hidden_fault : int;    (** fault absorbed by the VMM, invisible to the guest *)
+  world_switch : int;    (** guest <-> VMM transition *)
+  hypercall : int;       (** explicit shim -> VMM call (includes the switch) *)
+  syscall_trap : int;    (** guest user -> guest kernel transition *)
+  context_save : int;    (** VMM saving/scrubbing a cloaked register context *)
+  aes_byte : int;        (** software AES, per byte *)
+  sha_byte : int;        (** software SHA-256, per byte *)
+  disk_op : int;         (** one 4 KiB block transfer *)
+  copy_word : int;       (** kernel memcpy, per 8 bytes *)
+  timer_interrupt : int; (** periodic tick handled by the guest kernel *)
+}
+
+val default : model
+
+type t
+(** A running cycle account. *)
+
+val create : ?model:model -> unit -> t
+val model : t -> model
+val charge : t -> int -> unit
+val cycles : t -> int
+val reset : t -> unit
+
+val charge_crypto_page : t -> bytes_count:int -> hash:bool -> unit
+(** Cost of AES-CTR over [bytes_count] bytes, plus SHA-256 when [hash]. *)

@@ -1,0 +1,116 @@
+type t = {
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable shadow_walks : int;
+  mutable hidden_faults : int;
+  mutable guest_faults : int;
+  mutable world_switches : int;
+  mutable hypercalls : int;
+  mutable syscalls : int;
+  mutable page_encryptions : int;
+  mutable clean_reencryptions : int;
+  mutable page_decryptions : int;
+  mutable hash_computes : int;
+  mutable hash_checks : int;
+  mutable disk_reads : int;
+  mutable disk_writes : int;
+  mutable context_switches : int;
+  mutable timer_ticks : int;
+  mutable bytes_copied : int;
+}
+
+let create () =
+  {
+    tlb_hits = 0;
+    tlb_misses = 0;
+    shadow_walks = 0;
+    hidden_faults = 0;
+    guest_faults = 0;
+    world_switches = 0;
+    hypercalls = 0;
+    syscalls = 0;
+    page_encryptions = 0;
+    clean_reencryptions = 0;
+    page_decryptions = 0;
+    hash_computes = 0;
+    hash_checks = 0;
+    disk_reads = 0;
+    disk_writes = 0;
+    context_switches = 0;
+    timer_ticks = 0;
+    bytes_copied = 0;
+  }
+
+let reset t =
+  t.tlb_hits <- 0;
+  t.tlb_misses <- 0;
+  t.shadow_walks <- 0;
+  t.hidden_faults <- 0;
+  t.guest_faults <- 0;
+  t.world_switches <- 0;
+  t.hypercalls <- 0;
+  t.syscalls <- 0;
+  t.page_encryptions <- 0;
+  t.clean_reencryptions <- 0;
+  t.page_decryptions <- 0;
+  t.hash_computes <- 0;
+  t.hash_checks <- 0;
+  t.disk_reads <- 0;
+  t.disk_writes <- 0;
+  t.context_switches <- 0;
+  t.timer_ticks <- 0;
+  t.bytes_copied <- 0
+
+let snapshot t = { t with tlb_hits = t.tlb_hits }
+
+let diff ~after ~before =
+  {
+    tlb_hits = after.tlb_hits - before.tlb_hits;
+    tlb_misses = after.tlb_misses - before.tlb_misses;
+    shadow_walks = after.shadow_walks - before.shadow_walks;
+    hidden_faults = after.hidden_faults - before.hidden_faults;
+    guest_faults = after.guest_faults - before.guest_faults;
+    world_switches = after.world_switches - before.world_switches;
+    hypercalls = after.hypercalls - before.hypercalls;
+    syscalls = after.syscalls - before.syscalls;
+    page_encryptions = after.page_encryptions - before.page_encryptions;
+    clean_reencryptions = after.clean_reencryptions - before.clean_reencryptions;
+    page_decryptions = after.page_decryptions - before.page_decryptions;
+    hash_computes = after.hash_computes - before.hash_computes;
+    hash_checks = after.hash_checks - before.hash_checks;
+    disk_reads = after.disk_reads - before.disk_reads;
+    disk_writes = after.disk_writes - before.disk_writes;
+    context_switches = after.context_switches - before.context_switches;
+    timer_ticks = after.timer_ticks - before.timer_ticks;
+    bytes_copied = after.bytes_copied - before.bytes_copied;
+  }
+
+let rows t =
+  [
+    ("tlb_hits", t.tlb_hits);
+    ("tlb_misses", t.tlb_misses);
+    ("shadow_walks", t.shadow_walks);
+    ("hidden_faults", t.hidden_faults);
+    ("guest_faults", t.guest_faults);
+    ("world_switches", t.world_switches);
+    ("hypercalls", t.hypercalls);
+    ("syscalls", t.syscalls);
+    ("page_encryptions", t.page_encryptions);
+    ("clean_reencryptions", t.clean_reencryptions);
+    ("page_decryptions", t.page_decryptions);
+    ("hash_computes", t.hash_computes);
+    ("hash_checks", t.hash_checks);
+    ("disk_reads", t.disk_reads);
+    ("disk_writes", t.disk_writes);
+    ("context_switches", t.context_switches);
+    ("timer_ticks", t.timer_ticks);
+    ("bytes_copied", t.bytes_copied);
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, value) ->
+      if value <> 0 then Format.fprintf ppf "%-18s %d@," name value)
+    (rows t);
+  Format.fprintf ppf "@]"

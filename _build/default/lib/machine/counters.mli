@@ -1,0 +1,36 @@
+(** Event counters used for the overhead-decomposition experiments (E4).
+    Each field counts one class of event in the simulated stack. *)
+
+type t = {
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable shadow_walks : int;
+  mutable hidden_faults : int;
+  mutable guest_faults : int;
+  mutable world_switches : int;
+  mutable hypercalls : int;
+  mutable syscalls : int;
+  mutable page_encryptions : int;
+  mutable clean_reencryptions : int;
+  mutable page_decryptions : int;
+  mutable hash_computes : int;
+  mutable hash_checks : int;
+  mutable disk_reads : int;
+  mutable disk_writes : int;
+  mutable context_switches : int;
+  mutable timer_ticks : int;
+  mutable bytes_copied : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val snapshot : t -> t
+(** An immutable-by-convention copy for later diffing. *)
+
+val diff : after:t -> before:t -> t
+(** Field-wise subtraction. *)
+
+val pp : Format.formatter -> t -> unit
+
+val rows : t -> (string * int) list
+(** Counter name/value pairs in a stable order, for table output. *)

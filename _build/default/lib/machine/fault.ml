@@ -1,0 +1,17 @@
+type access = Read | Write
+
+let pp_access ppf = function
+  | Read -> Format.pp_print_string ppf "read"
+  | Write -> Format.pp_print_string ppf "write"
+
+type page_fault_kind = Not_present | Protection
+
+type page_fault = { vpn : Addr.vpn; access : access; kind : page_fault_kind }
+
+exception Guest_page_fault of page_fault
+
+let guest_fault vpn access kind = raise (Guest_page_fault { vpn; access; kind })
+
+let pp_page_fault ppf { vpn; access; kind } =
+  Format.fprintf ppf "page fault: vpn=%#x %a (%s)" vpn pp_access access
+    (match kind with Not_present -> "not present" | Protection -> "protection")

@@ -1,0 +1,23 @@
+(** Faults raised along the memory-access path. *)
+
+type access = Read | Write
+
+val pp_access : Format.formatter -> access -> unit
+
+type page_fault_kind =
+  | Not_present   (** no guest translation for the VPN *)
+  | Protection    (** write to a read-only mapping, or user access to a
+                      supervisor mapping *)
+
+type page_fault = {
+  vpn : Addr.vpn;
+  access : access;
+  kind : page_fault_kind;
+}
+
+exception Guest_page_fault of page_fault
+(** A true fault: the VMM injects it into the guest OS, whose handler must
+    resolve it (demand-fill, swap-in, COW) and retry. *)
+
+val guest_fault : Addr.vpn -> access -> page_fault_kind -> 'a
+val pp_page_fault : Format.formatter -> page_fault -> unit

@@ -1,0 +1,31 @@
+type pte = {
+  ppn : Addr.ppn;
+  writable : bool;
+  user : bool;
+  mutable accessed : bool;
+  mutable dirty : bool;
+}
+
+type t = { asid : int; entries : (Addr.vpn, pte) Hashtbl.t }
+
+let create ~asid = { asid; entries = Hashtbl.create 64 }
+let asid t = t.asid
+
+let map t vpn ppn ~writable ~user =
+  Hashtbl.replace t.entries vpn { ppn; writable; user; accessed = false; dirty = false }
+
+let unmap t vpn = Hashtbl.remove t.entries vpn
+
+let set_writable t vpn writable =
+  let pte = Hashtbl.find t.entries vpn in
+  Hashtbl.replace t.entries vpn { pte with writable }
+
+let lookup t vpn = Hashtbl.find_opt t.entries vpn
+
+let find_ppn t ppn =
+  Hashtbl.fold
+    (fun vpn pte acc -> if pte.ppn = ppn && acc = None then Some vpn else acc)
+    t.entries None
+
+let mapped_count t = Hashtbl.length t.entries
+let iter t f = Hashtbl.iter f t.entries

@@ -1,0 +1,39 @@
+(** Guest page tables: one per guest address space, maintained by the guest
+    OS, mapping VPN -> PPN with protection bits. The VMM reads these when it
+    builds shadow page tables; the guest signals modifications through the
+    VMM's [invalidate] interface (the analogue of INVLPG/TLB flushes, which
+    commodity OSes already issue and which shadow-paging VMMs trace). *)
+
+type pte = {
+  ppn : Addr.ppn;
+  writable : bool;
+  user : bool;                (** accessible from user mode *)
+  mutable accessed : bool;
+  mutable dirty : bool;
+}
+
+type t
+
+val create : asid:int -> t
+(** A fresh, empty address space with the given identifier. *)
+
+val asid : t -> int
+
+val map : t -> Addr.vpn -> Addr.ppn -> writable:bool -> user:bool -> unit
+(** Install or replace a translation. *)
+
+val unmap : t -> Addr.vpn -> unit
+(** Remove a translation; no-op if absent. *)
+
+val set_writable : t -> Addr.vpn -> bool -> unit
+(** Flip the writable bit of an existing translation.
+    Raises [Not_found] if the VPN is unmapped. *)
+
+val lookup : t -> Addr.vpn -> pte option
+
+val find_ppn : t -> Addr.ppn -> Addr.vpn option
+(** Reverse lookup: some VPN currently mapping the given PPN. Used by the
+    guest's swap daemon to locate victim mappings. *)
+
+val mapped_count : t -> int
+val iter : t -> (Addr.vpn -> pte -> unit) -> unit

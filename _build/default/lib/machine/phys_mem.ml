@@ -1,0 +1,77 @@
+type t = {
+  pages : bytes option array;
+  mutable free_list : int list;
+  mutable next_fresh : int;
+  mutable used : int;
+}
+
+exception Out_of_memory
+
+let create ~pages =
+  if pages <= 0 then invalid_arg "Phys_mem.create: pages must be positive";
+  { pages = Array.make pages None; free_list = []; next_fresh = 0; used = 0 }
+
+let capacity t = Array.length t.pages
+let in_use t = t.used
+
+(* Prefer never-used page numbers so that a freed page's MPN is not
+   immediately recycled: a dangling "home" reference from cloaked-page
+   metadata then reliably points at an unallocated page and the loss of
+   plaintext is detected rather than silently aliased. *)
+let alloc t =
+  let mpn =
+    if t.next_fresh < Array.length t.pages then begin
+      let mpn = t.next_fresh in
+      t.next_fresh <- t.next_fresh + 1;
+      mpn
+    end
+    else
+      match t.free_list with
+      | mpn :: rest ->
+          t.free_list <- rest;
+          mpn
+      | [] -> raise Out_of_memory
+  in
+  t.pages.(mpn) <- Some (Bytes.make Addr.page_size '\000');
+  t.used <- t.used + 1;
+  mpn
+
+let backing t mpn =
+  match t.pages.(mpn) with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Phys_mem: MPN %d is not allocated" mpn)
+
+let free t mpn =
+  ignore (backing t mpn);
+  t.pages.(mpn) <- None;
+  t.free_list <- mpn :: t.free_list;
+  t.used <- t.used - 1
+
+let allocated t mpn =
+  mpn >= 0 && mpn < Array.length t.pages && t.pages.(mpn) <> None
+
+let page = backing
+
+let read t mpn ~off ~len =
+  let b = backing t mpn in
+  if off < 0 || len < 0 || off + len > Addr.page_size then
+    invalid_arg "Phys_mem.read: out of page bounds";
+  Bytes.sub b off len
+
+let write t mpn ~off data =
+  let b = backing t mpn in
+  let len = Bytes.length data in
+  if off < 0 || off + len > Addr.page_size then
+    invalid_arg "Phys_mem.write: out of page bounds";
+  Bytes.blit data 0 b off len
+
+let get_byte t mpn ~off = Char.code (Bytes.get (backing t mpn) off)
+let set_byte t mpn ~off v = Bytes.set (backing t mpn) off (Char.chr (v land 0xFF))
+
+let copy_page t ~src ~dst =
+  Bytes.blit (backing t src) 0 (backing t dst) 0 Addr.page_size
+
+let load_page t mpn data =
+  if Bytes.length data <> Addr.page_size then
+    invalid_arg "Phys_mem.load_page: buffer must be one page";
+  Bytes.blit data 0 (backing t mpn) 0 Addr.page_size

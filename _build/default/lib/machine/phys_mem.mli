@@ -1,0 +1,33 @@
+(** Simulated machine memory: a pool of 4 KiB pages addressed by MPN.
+    Owned by the VMM; the guest OS never sees MPNs directly. *)
+
+type t
+
+exception Out_of_memory
+
+val create : pages:int -> t
+(** A pool with capacity for [pages] machine pages. *)
+
+val alloc : t -> Addr.mpn
+(** Allocate a zero-filled page. Raises {!Out_of_memory} when exhausted. *)
+
+val free : t -> Addr.mpn -> unit
+(** Return a page to the pool. The page contents are scrubbed. *)
+
+val capacity : t -> int
+val in_use : t -> int
+
+val allocated : t -> Addr.mpn -> bool
+(** Whether the MPN currently backs an allocation. *)
+
+val page : t -> Addr.mpn -> bytes
+(** Direct reference to the 4 KiB backing store of an allocated page.
+    Mutations are visible to all holders — this models physical RAM. *)
+
+val read : t -> Addr.mpn -> off:int -> len:int -> bytes
+val write : t -> Addr.mpn -> off:int -> bytes -> unit
+val get_byte : t -> Addr.mpn -> off:int -> int
+val set_byte : t -> Addr.mpn -> off:int -> int -> unit
+val copy_page : t -> src:Addr.mpn -> dst:Addr.mpn -> unit
+val load_page : t -> Addr.mpn -> bytes -> unit
+(** Overwrite a whole page from a 4 KiB buffer. *)

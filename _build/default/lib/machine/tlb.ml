@@ -1,0 +1,36 @@
+type entry = { shadow : int; vpn : Addr.vpn; mpn : Addr.mpn; writable : bool }
+
+type t = { slots : entry option array; mask : int }
+
+let create ?(slots = 256) () =
+  if slots <= 0 || slots land (slots - 1) <> 0 then
+    invalid_arg "Tlb.create: slots must be a positive power of two";
+  { slots = Array.make slots None; mask = slots - 1 }
+
+let slot_index t ~shadow ~vpn = (vpn lxor (shadow * 0x9E37)) land t.mask
+
+let lookup t ~shadow ~vpn =
+  match t.slots.(slot_index t ~shadow ~vpn) with
+  | Some e when e.shadow = shadow && e.vpn = vpn -> Some e
+  | Some _ | None -> None
+
+let insert t entry =
+  t.slots.(slot_index t ~shadow:entry.shadow ~vpn:entry.vpn) <- Some entry
+
+let flush_all t = Array.fill t.slots 0 (Array.length t.slots) None
+
+let flush_shadow t ~shadow =
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some e when e.shadow = shadow -> t.slots.(i) <- None
+      | Some _ | None -> ())
+    t.slots
+
+let flush_vpn t ~vpn =
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some e when e.vpn = vpn -> t.slots.(i) <- None
+      | Some _ | None -> ())
+    t.slots

@@ -1,0 +1,21 @@
+(** Software model of the hardware TLB. Entries are tagged with the shadow
+    context that installed them (the multi-shadowing analogue of an
+    address-space tag), so switching shadow contexts need not flush
+    everything unless the design under test requires it. *)
+
+type entry = { shadow : int; vpn : Addr.vpn; mpn : Addr.mpn; writable : bool }
+
+type t
+
+val create : ?slots:int -> unit -> t
+(** Direct-mapped with [slots] entries (default 256, power of two). *)
+
+val lookup : t -> shadow:int -> vpn:Addr.vpn -> entry option
+(** The entry for this shadow and VPN, if cached. The caller decides whether
+    the permissions suffice for the access at hand. *)
+
+val insert : t -> entry -> unit
+val flush_all : t -> unit
+val flush_shadow : t -> shadow:int -> unit
+val flush_vpn : t -> vpn:Addr.vpn -> unit
+(** Remove all entries for a VPN in any shadow (INVLPG analogue). *)

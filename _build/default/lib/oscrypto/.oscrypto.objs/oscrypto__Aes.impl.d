@@ -1,0 +1,1 @@
+lib/oscrypto/aes.ml: Array Bytes Char

@@ -1,0 +1,1 @@
+lib/oscrypto/aes.mli:

@@ -1,0 +1,1 @@
+lib/oscrypto/hmac.ml: Bytes Char Sha256

@@ -1,0 +1,1 @@
+lib/oscrypto/prng.ml: Bytes Char Int64

@@ -1,0 +1,1 @@
+lib/oscrypto/prng.mli:

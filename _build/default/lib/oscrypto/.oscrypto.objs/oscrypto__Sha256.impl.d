@@ -1,0 +1,1 @@
+lib/oscrypto/sha256.ml: Array Buffer Bytes Char Float Printf String

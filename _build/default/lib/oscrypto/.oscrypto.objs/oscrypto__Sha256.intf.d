@@ -1,0 +1,1 @@
+lib/oscrypto/sha256.mli:

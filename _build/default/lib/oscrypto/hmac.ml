@@ -1,0 +1,32 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if Bytes.length key > block_size then Sha256.digest key else key in
+  let padded = Bytes.make block_size '\000' in
+  Bytes.blit key 0 padded 0 (Bytes.length key);
+  padded
+
+let xor_pad key pad = Bytes.map (fun c -> Char.chr (Char.code c lxor pad)) key
+
+let mac ~key message =
+  let key = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.feed inner (xor_pad key 0x36) ~pos:0 ~len:block_size;
+  Sha256.feed inner message ~pos:0 ~len:(Bytes.length message);
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.feed outer (xor_pad key 0x5C) ~pos:0 ~len:block_size;
+  Sha256.feed outer inner_digest ~pos:0 ~len:32;
+  Sha256.finalize outer
+
+let mac_string ~key message = mac ~key:(Bytes.of_string key) (Bytes.of_string message)
+
+let verify ~key ~tag message =
+  let expected = mac ~key message in
+  Bytes.length tag = Bytes.length expected
+  &&
+  let diff = ref 0 in
+  Bytes.iteri
+    (fun i c -> diff := !diff lor (Char.code c lxor Char.code (Bytes.get tag i)))
+    expected;
+  !diff = 0

@@ -1,0 +1,32 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next_u64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* mask to OCaml's tagged-int positive range: Int64.to_int wraps modulo
+   2^63, so a plain one-bit shift could still come out negative *)
+let next t = Int64.to_int (Int64.shift_right_logical (next_u64 t) 1) land max_int
+
+let bytes t n =
+  let out = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let v = ref (next_u64 t) in
+    let chunk = min 8 (n - !i) in
+    for j = 0 to chunk - 1 do
+      Bytes.set out (!i + j) (Char.chr (Int64.to_int (Int64.logand !v 0xFFL)));
+      v := Int64.shift_right_logical !v 8
+    done;
+    i := !i + chunk
+  done;
+  out
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  next t mod bound

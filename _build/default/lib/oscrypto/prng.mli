@@ -1,0 +1,17 @@
+(** Deterministic pseudo-random generator (SplitMix64). The VMM uses it to
+    draw encryption IVs; the simulation is deterministic end to end so every
+    experiment is exactly reproducible. This is a simulation stand-in for a
+    hardware entropy source, not a cryptographic RNG. *)
+
+type t
+
+val create : seed:int -> t
+
+val next : t -> int
+(** Next 63-bit non-negative value. *)
+
+val bytes : t -> int -> bytes
+(** [bytes t n] draws [n] fresh pseudo-random bytes. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound). [bound] must be positive. *)

@@ -1,0 +1,1 @@
+lib/shim/shim.ml: Abi Addr Bytes Cloak Guest Machine Uapi

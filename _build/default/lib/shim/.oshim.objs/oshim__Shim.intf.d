@@ -1,0 +1,1 @@
+lib/shim/shim.mli: Guest Machine Uapi

@@ -1,0 +1,1 @@
+lib/shim/shim_io.ml: Abi Addr Buffer Bytes Cloak Errno Guest Machine Shim Uapi

@@ -1,0 +1,1 @@
+lib/shim/shim_io.mli: Machine Shim

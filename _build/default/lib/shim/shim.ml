@@ -1,0 +1,75 @@
+open Machine
+open Guest
+
+let marshal_pages = 16
+
+type t = {
+  u : Uapi.t;
+  marshal_vaddr : Addr.vaddr;
+  marshal_bytes : int;
+  direct : Abi.call -> Abi.value;  (* the dispatcher the kernel gave us *)
+}
+
+let uapi t = t.u
+let marshal_vaddr t = t.marshal_vaddr
+let marshal_bytes t = t.marshal_bytes
+let direct_dispatch t call = t.direct call
+
+(* Move [len] bytes between cloaked memory and the marshal buffer from the
+   application's own (plaintext) view. This is the copy the shim pays so
+   the kernel never touches cloaked pages. *)
+let user_copy t ~src ~dst ~len =
+  if len > 0 then begin
+    let data = Uapi.load t.u ~vaddr:src ~len in
+    Uapi.store t.u ~vaddr:dst data
+  end
+
+let shim_read t ~fd ~vaddr ~len =
+  let chunk = min len t.marshal_bytes in
+  match t.direct (Abi.Read { fd; vaddr = t.marshal_vaddr; len = chunk }) with
+  | Abi.Int n when n > 0 ->
+      user_copy t ~src:t.marshal_vaddr ~dst:vaddr ~len:n;
+      Abi.Int n
+  | v -> v
+
+let shim_write t ~fd ~vaddr ~len =
+  let chunk = min len t.marshal_bytes in
+  user_copy t ~src:vaddr ~dst:t.marshal_vaddr ~len:chunk;
+  t.direct (Abi.Write { fd; vaddr = t.marshal_vaddr; len = chunk })
+
+let dispatch t (call : Abi.call) =
+  match call with
+  | Abi.Read { fd; vaddr; len } when vaddr <> t.marshal_vaddr ->
+      shim_read t ~fd ~vaddr ~len
+  | Abi.Write { fd; vaddr; len } when vaddr <> t.marshal_vaddr ->
+      shim_write t ~fd ~vaddr ~len
+  | call -> t.direct call
+
+let store_uncloaked t data =
+  if Bytes.length data > t.marshal_bytes then
+    invalid_arg "Shim.store_uncloaked: larger than the marshal buffer";
+  Uapi.store t.u ~vaddr:t.marshal_vaddr data;
+  t.marshal_vaddr
+
+let install u =
+  let env = Uapi.env u in
+  if not env.Abi.cloaked then invalid_arg "Shim.install: process is not cloaked";
+  let direct = env.Abi.dispatch in
+  (* the marshal buffer is deliberately NOT cloaked *)
+  let start_vpn =
+    match direct (Abi.Mmap { pages = marshal_pages; cloaked = false }) with
+    | Abi.Int vpn -> vpn
+    | _ -> invalid_arg "Shim.install: mmap failed"
+  in
+  let t =
+    {
+      u;
+      marshal_vaddr = Addr.vaddr_of_vpn start_vpn;
+      marshal_bytes = marshal_pages * Addr.page_size;
+      direct;
+    }
+  in
+  (* registering the shim with the VMM is one hypercall *)
+  Cloak.Vmm.hypercall env.Abi.vmm;
+  env.Abi.dispatch <- dispatch t;
+  t

@@ -1,0 +1,31 @@
+(** The Overshadow shim — the small user-level layer loaded into every
+    cloaked application.
+
+    Kernel copyin/copyout against cloaked buffers forces a page
+    encrypt/decrypt round trip per touched page per syscall. The shim avoids
+    that by marshaling syscall buffers through a small *uncloaked* region:
+    the kernel only ever copies uncloaked memory, and the shim moves data
+    between the marshal buffer and cloaked memory from inside the
+    application's plaintext view.
+
+    [install] maps the marshal buffer and replaces [env.dispatch], so the
+    interposition is transparent to the program. *)
+
+type t
+
+val install : Uapi.t -> t
+(** Install the shim into a cloaked process (raises [Invalid_argument] for
+    uncloaked ones). Idempotent per process: installing twice is an error. *)
+
+val uapi : t -> Uapi.t
+val marshal_vaddr : t -> Machine.Addr.vaddr
+val marshal_bytes : t -> int
+(** Size of the marshal buffer (chunks larger than this are split). *)
+
+val direct_dispatch : t -> Guest.Abi.call -> Guest.Abi.value
+(** The pre-interposition dispatcher: issue a syscall *without* marshaling
+    (used by {!Shim_io} to move ciphertext, and by tests). *)
+
+val store_uncloaked : t -> bytes -> Machine.Addr.vaddr
+(** Place host bytes into the marshal buffer and return its address
+    (helper for protocol payloads that must be OS-visible). *)

@@ -1,0 +1,41 @@
+(** Cloaked file I/O via memory-mapped emulation.
+
+    A protected file is a cloaked shared-memory object mapped into the
+    application. Reads and writes are plain memcpys against the mapping —
+    no syscall, no kernel copy, no crypto on the hot path. Persistence
+    moves *ciphertext* through ordinary file syscalls: [save] seals the
+    object (so the kernel's view of the region is encrypted), streams the
+    region into a normal guest file, and stores the VMM-authenticated
+    metadata blob alongside it; [open_existing] reverses the process. The
+    OS and the disk only ever see ciphertext and an unforgeable metadata
+    blob. *)
+
+type file
+
+val create : Shim.t -> path:string -> pages:int -> file
+(** A fresh protected file backed by [pages] pages of cloaked memory,
+    to be persisted at [path] (content) and [path ^ ".meta"] (metadata). *)
+
+val open_existing : Shim.t -> path:string -> file
+(** Map a previously saved protected file. Raises
+    {!Cloak.Violation.Security_fault} if the metadata blob was forged or
+    replayed; content tampering is detected page-by-page on first access. *)
+
+val size : file -> int
+val capacity : file -> int
+(** Maximum size in bytes ([pages * page_size]). *)
+
+val base_vaddr : file -> Machine.Addr.vaddr
+
+val read : Shim.t -> file -> pos:int -> len:int -> bytes
+(** Plaintext read from the mapping (clamped to [size]). *)
+
+val write : Shim.t -> file -> pos:int -> bytes -> unit
+(** Plaintext write to the mapping; grows [size]. Raises
+    [Invalid_argument] beyond capacity. *)
+
+val save : Shim.t -> file -> unit
+(** Seal and persist content + metadata to the guest filesystem. *)
+
+val close : Shim.t -> file -> unit
+(** Seal and unmap without saving content changes made since [save]. *)

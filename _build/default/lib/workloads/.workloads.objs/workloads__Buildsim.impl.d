@@ -1,0 +1,1 @@
+lib/workloads/buildsim.ml: Abi Bytes Char Errno Guest Oshim Printf Uapi

@@ -1,0 +1,1 @@
+lib/workloads/buildsim.mli: Guest

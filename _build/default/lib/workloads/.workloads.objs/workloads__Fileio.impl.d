@@ -1,0 +1,1 @@
+lib/workloads/fileio.ml: Abi Array Bytes Char Errno Guest Oscrypto Oshim Printf Uapi

@@ -1,0 +1,1 @@
+lib/workloads/fileio.mli: Guest

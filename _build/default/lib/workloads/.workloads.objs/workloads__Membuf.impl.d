@@ -1,0 +1,1 @@
+lib/workloads/membuf.ml: Bytes Int64 Machine Uapi

@@ -1,0 +1,1 @@
+lib/workloads/membuf.mli: Machine Uapi

@@ -1,0 +1,1 @@
+lib/workloads/webserver.ml: Abi Bytes Char Errno Guest Oshim Printf String Uapi

@@ -1,0 +1,19 @@
+(** A build-like workload: the driver forks one worker per "module"; each
+    worker execs a fresh image, reads a source file, burns compile cycles,
+    writes an object file and exits; the driver waits for all of them.
+    Exercises fork (expensive for cloaked processes), exec, file I/O and
+    scheduling. *)
+
+type config = {
+  modules : int;
+  source_bytes : int;
+  compile_cycles : int;  (** compute burned per module *)
+}
+
+val default : config
+
+val driver : config -> cloak_workers:bool -> Guest.Abi.program
+(** The (uncloaked) make-like driver. When [cloak_workers] is set each
+    worker execs into a cloaked image with the shim installed — the paper's
+    "build of a protected application" scenario. Exits 0 when every module
+    built and verified. *)

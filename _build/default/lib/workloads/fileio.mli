@@ -1,0 +1,20 @@
+(** A dbench-style file-server workload: a pseudo-random but deterministic
+    mix of creates, sequential/random reads, appends, stats and deletes
+    over a working directory, exercising the page cache, the block device
+    and the copyin/copyout paths. *)
+
+type config = {
+  operations : int;
+  file_bytes : int;    (** size class of created files *)
+  working_set : int;   (** max live files *)
+  seed : int;
+}
+
+val default : config
+
+val run : config -> use_shim:bool -> Guest.Abi.program
+(** Performs the mix and exits 0 on success; exit 1 indicates a data
+    mismatch (corruption). *)
+
+val ops_done : config -> int
+(** The number of operations a run performs (= [config.operations]). *)

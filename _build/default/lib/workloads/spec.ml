@@ -1,0 +1,241 @@
+type kernel = { name : string; run : Uapi.t -> scale:int -> int }
+
+let default_scale = 1
+
+(* Small deterministic generator for workload data (workload-local, not the
+   VMM's IV source). *)
+let mix seed i = ((seed * 0x9E3779B1) + (i * 0x85EBCA77)) land 0x3FFFFFFF
+
+(* Every kernel allocates its buffers once and then runs several passes over
+   them, like a real long-running benchmark: one-time costs (demand faults,
+   initial page decryption for cloaked processes) amortize over the run and
+   the steady-state overhead is what the experiment measures. *)
+
+(* --- sieve of Eratosthenes over a byte array in guest memory --- *)
+
+let sieve u ~scale =
+  let n = 6000 * scale in
+  let reps = 10 in
+  let v = Membuf.alloc_bytes u ~len:n in
+  let checksum = ref 0 in
+  for _rep = 1 to reps do
+    for i = 0 to n - 1 do
+      Membuf.set_byte v i 0
+    done;
+    for i = 2 to n - 1 do
+      Uapi.compute u ~cycles:6;
+      if Membuf.get_byte v i = 0 then begin
+        let j = ref (i * i) in
+        while !j < n do
+          Membuf.set_byte v !j 1;
+          j := !j + i
+        done
+      end
+    done;
+    let count = ref 0 in
+    for i = 2 to n - 1 do
+      if Membuf.get_byte v i = 0 then incr count
+    done;
+    checksum := (!checksum + !count) land 0x3FFFFFFFFFFF
+  done;
+  !checksum
+
+(* --- bottom-up merge sort of 64-bit keys in guest memory --- *)
+
+let sort u ~scale =
+  let n = 2048 * scale in
+  let reps = 10 in
+  let a = Membuf.alloc u ~elems:n in
+  let b = Membuf.alloc u ~elems:n in
+  let checksum = ref 0 in
+  for rep = 1 to reps do
+    for i = 0 to n - 1 do
+      Membuf.set a i (mix (17 + rep) i land 0xFFFFFF)
+    done;
+    let src = ref a and dst = ref b in
+    let width = ref 1 in
+    while !width < n do
+      let lo = ref 0 in
+      while !lo < n do
+        let mid = min n (!lo + !width) in
+        let hi = min n (!lo + (2 * !width)) in
+        let i = ref !lo and j = ref mid and k = ref !lo in
+        while !k < hi do
+          Uapi.compute u ~cycles:12;
+          let take_left =
+            !j >= hi || (!i < mid && Membuf.get !src !i <= Membuf.get !src !j)
+          in
+          if take_left then begin
+            Membuf.set !dst !k (Membuf.get !src !i);
+            incr i
+          end
+          else begin
+            Membuf.set !dst !k (Membuf.get !src !j);
+            incr j
+          end;
+          incr k
+        done;
+        lo := !lo + (2 * !width)
+      done;
+      let tmp = !src in
+      src := !dst;
+      dst := tmp;
+      width := !width * 2
+    done;
+    for i = 0 to n - 1 do
+      let x = Membuf.get !src i in
+      if i > 0 && Membuf.get !src (i - 1) > x then invalid_arg "Spec.sort: not sorted";
+      checksum := (!checksum + (x * i)) land 0x3FFFFFFFFFFF
+    done
+  done;
+  !checksum
+
+(* --- dense integer matrix multiply --- *)
+
+let matmul u ~scale =
+  let k = 24 * scale in
+  let reps = 10 in
+  let a = Membuf.alloc u ~elems:(k * k) in
+  let b = Membuf.alloc u ~elems:(k * k) in
+  let c = Membuf.alloc u ~elems:(k * k) in
+  let checksum = ref 0 in
+  for rep = 1 to reps do
+    for i = 0 to (k * k) - 1 do
+      Membuf.set a i (mix (3 + rep) i land 0xFF);
+      Membuf.set b i (mix (7 + rep) i land 0xFF)
+    done;
+    for i = 0 to k - 1 do
+      for j = 0 to k - 1 do
+        let acc = ref 0 in
+        for l = 0 to k - 1 do
+          Uapi.compute u ~cycles:10;
+          acc := !acc + (Membuf.get a ((i * k) + l) * Membuf.get b ((l * k) + j))
+        done;
+        Membuf.set c ((i * k) + j) (!acc land 0x3FFFFFFFFFFF)
+      done
+    done;
+    for i = 0 to (k * k) - 1 do
+      checksum := (!checksum + Membuf.get c i) land 0x3FFFFFFFFFFF
+    done
+  done;
+  !checksum
+
+(* --- bit-twiddling sweeps --- *)
+
+let bitops u ~scale =
+  let n = 4096 * scale in
+  let reps = 10 in
+  let v = Membuf.alloc u ~elems:n in
+  for i = 0 to n - 1 do
+    Membuf.set v i (mix 23 i)
+  done;
+  let checksum = ref 0 in
+  for _rep = 1 to reps do
+    for _pass = 1 to 3 do
+      for i = 0 to n - 1 do
+        Uapi.compute u ~cycles:6;
+        let x = Membuf.get v i in
+        let x = x lxor (x lsr 13) in
+        let x = (x + (x lsl 3)) land 0x3FFFFFFFFFFF in
+        Membuf.set v i x
+      done
+    done;
+    for i = 0 to n - 1 do
+      checksum := (!checksum lxor Membuf.get v i) land 0x3FFFFFFFFFFF
+    done
+  done;
+  !checksum
+
+(* --- breadth-first search over a synthetic graph --- *)
+
+let bfs u ~scale =
+  let n = 1500 * scale in
+  let degree = 6 in
+  let reps = 12 in
+  let edges = Membuf.alloc u ~elems:(n * degree) in
+  for v = 0 to n - 1 do
+    for d = 0 to degree - 1 do
+      Membuf.set edges ((v * degree) + d) (mix (v + 1) d mod n)
+    done
+  done;
+  let dist = Membuf.alloc u ~elems:n in
+  let queue = Membuf.alloc u ~elems:n in
+  let checksum = ref 0 in
+  for rep = 0 to reps - 1 do
+    for i = 0 to n - 1 do
+      Membuf.set dist i (-1)
+    done;
+    let root = rep * 7 mod n in
+    Membuf.set dist root 0;
+    Membuf.set queue 0 root;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let v = Membuf.get queue !head in
+      incr head;
+      let dv = Membuf.get dist v in
+      for d = 0 to degree - 1 do
+        Uapi.compute u ~cycles:10;
+        let w = Membuf.get edges ((v * degree) + d) in
+        if Membuf.get dist w < 0 then begin
+          Membuf.set dist w (dv + 1);
+          Membuf.set queue !tail w;
+          incr tail
+        end
+      done
+    done;
+    for i = 0 to n - 1 do
+      checksum := (!checksum + ((Membuf.get dist i + 2) * (i + 1))) land 0x3FFFFFFFFFFF
+    done
+  done;
+  !checksum
+
+(* --- run-length encoding of a bursty buffer --- *)
+
+let rle u ~scale =
+  let n = 24_000 * scale in
+  let reps = 10 in
+  let src = Membuf.alloc_bytes u ~len:n in
+  let dst = Membuf.alloc_bytes u ~len:(2 * n) in
+  (* bursty input: runs of identical bytes with pseudo-random lengths *)
+  let pos = ref 0 and r = ref 5 in
+  while !pos < n do
+    r := mix !r 1;
+    let run = 1 + (!r land 31) in
+    let byte = (!r lsr 8) land 0xFF in
+    let stop = min n (!pos + run) in
+    while !pos < stop do
+      Membuf.set_byte src !pos byte;
+      incr pos
+    done
+  done;
+  let checksum = ref 0 in
+  for _rep = 1 to reps do
+    let out = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      Uapi.compute u ~cycles:6;
+      let byte = Membuf.get_byte src !i in
+      let j = ref !i in
+      while !j < n && !j - !i < 255 && Membuf.get_byte src !j = byte do
+        incr j
+      done;
+      Membuf.set_byte dst !out (!j - !i);
+      Membuf.set_byte dst (!out + 1) byte;
+      out := !out + 2;
+      i := !j
+    done;
+    checksum := (!checksum + !out) land 0x3FFFFFFFFFFF
+  done;
+  !checksum
+
+let kernels =
+  [
+    { name = "sieve"; run = sieve };
+    { name = "sort"; run = sort };
+    { name = "matmul"; run = matmul };
+    { name = "bitops"; run = bitops };
+    { name = "bfs"; run = bfs };
+    { name = "rle"; run = rle };
+  ]
+
+let find name = List.find (fun k -> k.name = name) kernels

@@ -1,0 +1,18 @@
+(** SPEC-style integer compute kernels (stand-ins for the paper's
+    compute-bound benchmark suite). Each kernel runs against simulated user
+    memory, mixing real loads/stores with pure compute, and self-checks its
+    result so a miscompiled (or mis-decrypted!) run fails loudly. *)
+
+type kernel = {
+  name : string;
+  run : Uapi.t -> scale:int -> int;
+      (** returns a checksum; deterministic for a given scale *)
+}
+
+val kernels : kernel list
+(** sieve, sort, matmul, bitops, bfs, rle — all deterministic. *)
+
+val find : string -> kernel
+(** Raises [Not_found]. *)
+
+val default_scale : int

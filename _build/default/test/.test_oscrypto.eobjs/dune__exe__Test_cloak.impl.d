@@ -1,0 +1,1 @@
+test/test_cloak.ml: Addr Alcotest Array Bytes Char Cloak Context Counters Fault List Machine Metadata Page_table Phys_mem Printf QCheck QCheck_alcotest Resource String Transfer Violation Vmm

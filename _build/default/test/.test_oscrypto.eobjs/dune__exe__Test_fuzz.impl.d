@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Abi Addr Alcotest Cloak Cost Errno Guest Kernel List Machine Oshim Printf QCheck QCheck_alcotest String Uapi

@@ -1,0 +1,1 @@
+test/test_guest.ml: Addr Alcotest Blockdev Bytes Char Cloak Counters Errno Fs Guest List Machine Page_table Pipe QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Abi Addr Alcotest Bytes Char Cloak Counters Errno Guest Kernel List Machine Page_table Uapi

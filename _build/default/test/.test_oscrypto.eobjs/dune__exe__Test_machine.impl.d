@@ -1,0 +1,1 @@
+test/test_machine.ml: Addr Alcotest Bytes Cost Counters List Machine Page_table Phys_mem QCheck QCheck_alcotest Tlb

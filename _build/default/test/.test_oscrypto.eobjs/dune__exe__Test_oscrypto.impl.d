@@ -1,0 +1,1 @@
+test/test_oscrypto.ml: Aes Alcotest Bytes Char Hmac List Oscrypto Printf Prng QCheck QCheck_alcotest Sha256 String

@@ -1,0 +1,1 @@
+test/test_shim.ml: Abi Addr Alcotest Blockdev Bytes Char Cloak Counters Fs Guest Kernel Machine Oshim Shim Shim_io String Uapi

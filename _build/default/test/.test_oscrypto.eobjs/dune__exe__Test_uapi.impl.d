@@ -1,0 +1,1 @@
+test/test_uapi.ml: Abi Addr Alcotest Bytes Cloak Cost Counters Errno Guest Kernel List Machine Page_table Uapi

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Guest Harness Kernel List Uapi Workloads

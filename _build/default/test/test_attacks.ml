@@ -1,0 +1,47 @@
+(* Security evaluation: every attack in the catalog must uphold the paper's
+   guarantee — privacy unconditionally (the adversary never sees plaintext),
+   integrity by detection (tampering raises a security fault). *)
+
+let expectations =
+  (* name, must_not_leak, must_detect, expected violation kind *)
+  [
+    ("peek-memory", true, false, None);
+    ("steal-swap", true, false, None);
+    ("steal-disk", true, false, None);
+    ("tamper-memory", true, true, Some "integrity");
+    ("relocate-page", true, true, None (* relocation or integrity, state-dependent *));
+    ("rollback-page", true, true, Some "integrity");
+    ("tamper-swap", true, true, Some "integrity");
+    ("drop-plaintext", true, true, Some "lost-plaintext");
+    ("bad-resume", true, true, Some "bad-resume");
+    ("replay-protected-file", true, true, Some "metadata-forged");
+    ("cross-process-substitution", true, true, Some "integrity");
+  ]
+
+let test_attack (name, must_not_leak, must_detect, expected_violation) () =
+  let o = Attacks.run name in
+  if must_not_leak then
+    Alcotest.(check bool) (name ^ ": secret must not leak") false o.Attacks.leaked;
+  if must_detect then
+    Alcotest.(check bool) (name ^ ": tampering must be detected") true o.Attacks.detected;
+  match expected_violation with
+  | Some kind -> Alcotest.(check (option string)) (name ^ ": violation kind") (Some kind) o.Attacks.violation
+  | None -> ()
+
+let test_catalog_complete () =
+  Alcotest.(check int) "all attacks covered" (List.length Attacks.names)
+    (List.length expectations);
+  List.iter
+    (fun (name, _, _, _) ->
+      Alcotest.(check bool) (name ^ " exists") true (List.mem name Attacks.names))
+    expectations
+
+let () =
+  Alcotest.run "attacks"
+    [
+      ( "catalog",
+        Alcotest.test_case "complete" `Quick test_catalog_complete
+        :: List.map
+             (fun ((name, _, _, _) as e) -> Alcotest.test_case name `Quick (test_attack e))
+             expectations );
+    ]

@@ -1,0 +1,515 @@
+(* End-to-end tests of the guest kernel running on the cloaking VMM. *)
+
+open Machine
+open Guest
+
+let make_stack ?config ?kconfig () =
+  let vmm = Cloak.Vmm.create ?config () in
+  let k = Kernel.create ?config:kconfig vmm in
+  (vmm, k)
+
+let run_one ?(cloaked = false) prog =
+  let _vmm, k = make_stack () in
+  let pid = Kernel.spawn k ~cloaked prog in
+  Kernel.run k;
+  (k, pid)
+
+let check_exit k pid expected =
+  Alcotest.(check (option int)) "exit status" (Some expected) (Kernel.exit_status k ~pid)
+
+(* --- basic process life cycle --- *)
+
+let test_exit_status () =
+  let k, pid = run_one (fun env -> Uapi.exit (Uapi.of_env env) 42) in
+  check_exit k pid 42
+
+let test_natural_return () =
+  let k, pid = run_one (fun _ -> ()) in
+  check_exit k pid 0
+
+let test_getpid () =
+  let seen = ref (-1) in
+  let k, pid =
+    run_one (fun env ->
+        let u = Uapi.of_env env in
+        seen := Uapi.getpid u)
+  in
+  check_exit k pid 0;
+  Alcotest.(check int) "getpid" pid !seen
+
+(* --- memory --- *)
+
+let test_store_load () =
+  let ok = ref false in
+  let k, pid =
+    run_one (fun env ->
+        let u = Uapi.of_env env in
+        let buf = Uapi.malloc u 10000 in
+        let data = Bytes.init 10000 (fun i -> Char.chr (i land 0xFF)) in
+        Uapi.store u ~vaddr:buf data;
+        ok := Bytes.equal data (Uapi.load u ~vaddr:buf ~len:10000))
+  in
+  check_exit k pid 0;
+  Alcotest.(check bool) "roundtrip" true !ok
+
+let test_stack_demand_paging () =
+  (* touch the stack area: faults should demand-map pages *)
+  let k, pid =
+    run_one (fun env ->
+        let u = Uapi.of_env env in
+        let stack_vaddr = Addr.vaddr_of_vpn (0x8000 - 4) in
+        Uapi.store_byte u ~vaddr:stack_vaddr 0xAB;
+        if Uapi.load_byte u ~vaddr:stack_vaddr <> 0xAB then Uapi.exit u 1)
+  in
+  check_exit k pid 0
+
+let test_segfault_kills () =
+  let k, pid =
+    run_one (fun env ->
+        let u = Uapi.of_env env in
+        Uapi.store_byte u ~vaddr:(Addr.vaddr_of_vpn 0x9999) 1)
+  in
+  check_exit k pid 139
+
+let test_malloc_many_pages () =
+  let k, pid =
+    run_one (fun env ->
+        let u = Uapi.of_env env in
+        (* allocate 100 separate KiB-sized blocks and write to each *)
+        let blocks = List.init 100 (fun _ -> Uapi.malloc u 1024) in
+        List.iteri (fun i b -> Uapi.store_byte u ~vaddr:b (i land 0xFF)) blocks;
+        List.iteri
+          (fun i b -> if Uapi.load_byte u ~vaddr:b <> i land 0xFF then Uapi.exit u 1)
+          blocks)
+  in
+  check_exit k pid 0
+
+(* --- files --- *)
+
+let test_file_roundtrip () =
+  let got = ref Bytes.empty in
+  let k, pid =
+    run_one (fun env ->
+        let u = Uapi.of_env env in
+        let fd = Uapi.openf u "/data" [ Abi.O_CREAT; Abi.O_RDWR ] in
+        let payload = Bytes.of_string "the quick brown fox jumps over the lazy dog" in
+        Uapi.write_bytes u ~fd payload;
+        ignore (Uapi.lseek u ~fd ~pos:0 ~whence:Abi.Seek_set);
+        got := Uapi.read_bytes u ~fd ~len:(Bytes.length payload);
+        Uapi.close u fd)
+  in
+  check_exit k pid 0;
+  Alcotest.(check string) "file contents" "the quick brown fox jumps over the lazy dog"
+    (Bytes.to_string !got)
+
+let test_file_large_offsets () =
+  (* multi-page file with a hole *)
+  let size = ref 0 in
+  let hole_byte = ref 1 in
+  let k, pid =
+    run_one (fun env ->
+        let u = Uapi.of_env env in
+        let fd = Uapi.openf u "/big" [ Abi.O_CREAT; Abi.O_RDWR ] in
+        ignore (Uapi.lseek u ~fd ~pos:(3 * Addr.page_size) ~whence:Abi.Seek_set);
+        Uapi.write_bytes u ~fd (Bytes.of_string "tail");
+        size := (Uapi.fstat u fd).Abi.st_size;
+        ignore (Uapi.lseek u ~fd ~pos:100 ~whence:Abi.Seek_set);
+        let b = Uapi.read_bytes u ~fd ~len:1 in
+        hole_byte := Char.code (Bytes.get b 0);
+        Uapi.close u fd)
+  in
+  check_exit k pid 0;
+  Alcotest.(check int) "size" ((3 * Addr.page_size) + 4) !size;
+  Alcotest.(check int) "hole reads zero" 0 !hole_byte
+
+let test_dirs_and_unlink () =
+  let names = ref [] in
+  let k, pid =
+    run_one (fun env ->
+        let u = Uapi.of_env env in
+        Uapi.mkdir u "/tmp";
+        let fd = Uapi.openf u "/tmp/a" [ Abi.O_CREAT ] in
+        Uapi.close u fd;
+        let fd = Uapi.openf u "/tmp/b" [ Abi.O_CREAT ] in
+        Uapi.close u fd;
+        Uapi.unlink u "/tmp/a";
+        names := Uapi.readdir u "/tmp")
+  in
+  check_exit k pid 0;
+  Alcotest.(check (list string)) "dir contents" [ "b" ] !names
+
+let test_enoent () =
+  let k, pid =
+    run_one (fun env ->
+        let u = Uapi.of_env env in
+        match Uapi.openf u "/missing" [ Abi.O_RDONLY ] with
+        | _ -> Uapi.exit u 1
+        | exception Errno.Error Errno.ENOENT -> Uapi.exit u 7)
+  in
+  check_exit k pid 7
+
+(* --- fork / wait / pipes --- *)
+
+let test_fork_wait () =
+  let waited = ref (0, 0) in
+  let child_pid = ref 0 in
+  let k, pid =
+    run_one (fun env ->
+        let u = Uapi.of_env env in
+        child_pid := Uapi.fork u ~child:(fun cenv -> Uapi.exit (Uapi.of_env cenv) 5);
+        waited := Uapi.wait u)
+  in
+  check_exit k pid 0;
+  let wpid, status = !waited in
+  Alcotest.(check int) "waited pid" !child_pid wpid;
+  Alcotest.(check int) "child status" 5 status
+
+let test_fork_copies_memory () =
+  let k, pid =
+    run_one (fun env ->
+        let u = Uapi.of_env env in
+        let buf = Uapi.malloc u 4096 in
+        Uapi.store u ~vaddr:buf (Bytes.make 4096 'P');
+        let _ =
+          Uapi.fork u ~child:(fun cenv ->
+              let c = Uapi.of_env cenv in
+              (* the child sees the parent's data, then changes its own copy *)
+              if Uapi.load_byte c ~vaddr:buf <> Char.code 'P' then Uapi.exit c 1;
+              Uapi.store_byte c ~vaddr:buf (Char.code 'C');
+              Uapi.exit c 0)
+        in
+        let _, status = Uapi.wait u in
+        if status <> 0 then Uapi.exit u 2;
+        (* parent copy unaffected *)
+        if Uapi.load_byte u ~vaddr:buf <> Char.code 'P' then Uapi.exit u 3)
+  in
+  check_exit k pid 0
+
+let test_pipe_parent_child () =
+  let k, pid =
+    run_one (fun env ->
+        let u = Uapi.of_env env in
+        let rfd, wfd = Uapi.pipe u in
+        let _ =
+          Uapi.fork u ~child:(fun cenv ->
+              let c = Uapi.of_env cenv in
+              Uapi.close c rfd;
+              Uapi.write_bytes c ~fd:wfd (Bytes.of_string "ping");
+              Uapi.exit c 0)
+        in
+        Uapi.close u wfd;
+        let got = Uapi.read_bytes u ~fd:rfd ~len:4 in
+        let _ = Uapi.wait u in
+        if Bytes.to_string got <> "ping" then Uapi.exit u 1)
+  in
+  check_exit k pid 0
+
+let test_pipe_blocking_backpressure () =
+  (* writer fills beyond capacity; reader drains; both finish *)
+  let kconfig = { Kernel.default_config with pipe_capacity = 4096 } in
+  let vmm = Cloak.Vmm.create () in
+  let k = Kernel.create ~config:kconfig vmm in
+  let total = 16384 in
+  let pid =
+    Kernel.spawn k (fun env ->
+        let u = Uapi.of_env env in
+        let rfd, wfd = Uapi.pipe u in
+        let _ =
+          Uapi.fork u ~child:(fun cenv ->
+              let c = Uapi.of_env cenv in
+              Uapi.close c rfd;
+              Uapi.write_bytes c ~fd:wfd (Bytes.make total 'x');
+              Uapi.close c wfd;
+              Uapi.exit c 0)
+        in
+        Uapi.close u wfd;
+        let got = Uapi.read_bytes u ~fd:rfd ~len:total in
+        let _ = Uapi.wait u in
+        if Bytes.length got <> total then Uapi.exit u 1)
+  in
+  Kernel.run k;
+  Alcotest.(check (option int)) "exit" (Some 0) (Kernel.exit_status k ~pid)
+
+let test_exec_replaces_image () =
+  let k, pid =
+    run_one (fun env ->
+        let u = Uapi.of_env env in
+        let buf = Uapi.malloc u 64 in
+        Uapi.store u ~vaddr:buf (Bytes.make 64 'Z');
+        Uapi.exec u (fun env2 ->
+            let u2 = Uapi.of_env env2 in
+            (* fresh image: the heap is empty again *)
+            let b2 = Uapi.malloc u2 64 in
+            if Uapi.load_byte u2 ~vaddr:b2 <> 0 then Uapi.exit u2 1;
+            Uapi.exit u2 33))
+  in
+  check_exit k pid 33
+
+(* --- signals --- *)
+
+let test_sigkill () =
+  let k, pid =
+    run_one (fun env ->
+        let u = Uapi.of_env env in
+        let victim =
+          Uapi.fork u ~child:(fun cenv ->
+              let c = Uapi.of_env cenv in
+              (* loop forever; only a signal stops us *)
+              let rec spin () =
+                Uapi.compute c ~cycles:1_000_000;
+                spin ()
+              in
+              spin ())
+        in
+        Uapi.yield u;
+        Uapi.kill u ~pid:victim ~signum:Abi.sigkill;
+        let wpid, status = Uapi.wait u in
+        if wpid <> victim || status <> 128 + Abi.sigkill then Uapi.exit u 1)
+  in
+  check_exit k pid 0
+
+let test_signal_handler_runs () =
+  let handled = ref false in
+  let k, pid =
+    run_one (fun env ->
+        let u = Uapi.of_env env in
+        Uapi.on_signal u ~signum:Abi.sigusr1 (fun _ -> handled := true);
+        Uapi.kill u ~pid:(Uapi.getpid u) ~signum:Abi.sigusr1;
+        (* delivery happens at the next syscall completion *)
+        Uapi.yield u)
+  in
+  check_exit k pid 0;
+  Alcotest.(check bool) "handler ran" true !handled
+
+(* --- scheduling fairness --- *)
+
+let test_round_robin_interleaving () =
+  let vmm = Cloak.Vmm.create () in
+  let k = Kernel.create vmm in
+  let log = ref [] in
+  let worker tag env =
+    let u = Uapi.of_env env in
+    for _ = 1 to 3 do
+      Uapi.compute u ~cycles:(Kernel.default_config.quantum + 1);
+      log := tag :: !log
+    done
+  in
+  let a = Kernel.spawn k (worker "a") in
+  let b = Kernel.spawn k (worker "b") in
+  Kernel.run k;
+  Alcotest.(check (option int)) "a exits" (Some 0) (Kernel.exit_status k ~pid:a);
+  Alcotest.(check (option int)) "b exits" (Some 0) (Kernel.exit_status k ~pid:b);
+  (* both made progress in interleaved fashion: the log is not a..ab..b *)
+  let order = List.rev !log in
+  Alcotest.(check int) "all iterations ran" 6 (List.length order);
+  Alcotest.(check bool) "interleaved" true
+    (match order with
+    | "a" :: "b" :: _ | "b" :: "a" :: _ -> true
+    | _ -> false)
+
+(* --- swap under memory pressure --- *)
+
+let test_swap_pressure () =
+  let kconfig = { Kernel.default_config with guest_pages = 96 } in
+  let vmm = Cloak.Vmm.create () in
+  let k = Kernel.create ~config:kconfig vmm in
+  let pid =
+    Kernel.spawn k (fun env ->
+        let u = Uapi.of_env env in
+        (* working set of 128 pages > 96-page pool: forces eviction *)
+        let base = Uapi.malloc u (128 * Addr.page_size) in
+        for p = 0 to 127 do
+          Uapi.store_byte u ~vaddr:(base + (p * Addr.page_size)) (p land 0xFF)
+        done;
+        for p = 0 to 127 do
+          if Uapi.load_byte u ~vaddr:(base + (p * Addr.page_size)) <> p land 0xFF then
+            Uapi.exit u 1
+        done)
+  in
+  Kernel.run k;
+  Alcotest.(check (option int)) "exit" (Some 0) (Kernel.exit_status k ~pid);
+  let c = Cloak.Vmm.counters vmm in
+  Alcotest.(check bool) "swap happened" true (c.Counters.disk_writes > 0 && c.Counters.disk_reads > 0)
+
+(* --- cloaked processes --- *)
+
+let test_cloaked_store_load () =
+  let ok = ref false in
+  let k, pid =
+    run_one ~cloaked:true (fun env ->
+        let u = Uapi.of_env env in
+        let buf = Uapi.malloc u 8192 in
+        let data = Bytes.init 8192 (fun i -> Char.chr ((i * 7) land 0xFF)) in
+        Uapi.store u ~vaddr:buf data;
+        ok := Bytes.equal data (Uapi.load u ~vaddr:buf ~len:8192))
+  in
+  check_exit k pid 0;
+  Alcotest.(check bool) "cloaked roundtrip" true !ok
+
+let test_kernel_sees_ciphertext () =
+  (* while the cloaked process lives, have it write a recognizable secret,
+     then look at the same page through the kernel's physical view *)
+  let vmm = Cloak.Vmm.create () in
+  let k = Kernel.create vmm in
+  let observed = ref Bytes.empty in
+  let secret = Bytes.make 64 'S' in
+  let pid =
+    Kernel.spawn k ~cloaked:true (fun env ->
+        let u = Uapi.of_env env in
+        let buf = Uapi.malloc u 4096 in
+        Uapi.store u ~vaddr:buf secret;
+        (* locate the backing page the way a curious kernel would *)
+        let vpn = Addr.vpn_of_vaddr buf in
+        let pt = Cloak.Vmm.page_table vmm ~asid:(Uapi.pid u) in
+        (match Page_table.lookup pt vpn with
+        | Some pte -> observed := Cloak.Vmm.phys_read vmm pte.Page_table.ppn ~off:0 ~len:64
+        | None -> ());
+        (* after the kernel peeked, the app must still read its plaintext *)
+        if not (Bytes.equal (Uapi.load u ~vaddr:buf ~len:64) secret) then Uapi.exit u 1)
+  in
+  Kernel.run k;
+  Alcotest.(check (option int)) "exit" (Some 0) (Kernel.exit_status k ~pid);
+  Alcotest.(check bool) "kernel view is not the secret" false (Bytes.equal !observed secret);
+  let c = Cloak.Vmm.counters vmm in
+  Alcotest.(check bool) "encryption happened" true (c.Counters.page_encryptions > 0);
+  Alcotest.(check bool) "decryption happened" true (c.Counters.page_decryptions > 0)
+
+let test_cloaked_fork () =
+  let k, pid =
+    run_one ~cloaked:true (fun env ->
+        let u = Uapi.of_env env in
+        let buf = Uapi.malloc u 4096 in
+        Uapi.store u ~vaddr:buf (Bytes.make 4096 'Q');
+        let _ =
+          Uapi.fork u ~child:(fun cenv ->
+              let c = Uapi.of_env cenv in
+              if Uapi.load_byte c ~vaddr:buf <> Char.code 'Q' then Uapi.exit c 1;
+              Uapi.exit c 0)
+        in
+        let _, status = Uapi.wait u in
+        Uapi.exit u status)
+  in
+  check_exit k pid 0
+
+let test_cloaked_file_io_uncloaked_buffers () =
+  (* cloaked process doing plain file I/O through its (cloaked) heap: the
+     kernel copies force page transitions but data must survive *)
+  let k, pid =
+    run_one ~cloaked:true (fun env ->
+        let u = Uapi.of_env env in
+        let fd = Uapi.openf u "/f" [ Abi.O_CREAT; Abi.O_RDWR ] in
+        let payload = Bytes.init 6000 (fun i -> Char.chr ((i * 3) land 0xFF)) in
+        Uapi.write_bytes u ~fd payload;
+        ignore (Uapi.lseek u ~fd ~pos:0 ~whence:Abi.Seek_set);
+        let got = Uapi.read_bytes u ~fd ~len:6000 in
+        Uapi.close u fd;
+        if Bytes.equal got payload then Uapi.exit u 0 else Uapi.exit u 1)
+  in
+  check_exit k pid 0
+
+let test_cloaked_swap_roundtrip () =
+  (* cloaked pages survive being paged out and back in *)
+  let kconfig = { Kernel.default_config with guest_pages = 96 } in
+  let vmm = Cloak.Vmm.create () in
+  let k = Kernel.create ~config:kconfig vmm in
+  let pid =
+    Kernel.spawn k ~cloaked:true (fun env ->
+        let u = Uapi.of_env env in
+        let base = Uapi.malloc u (128 * Addr.page_size) in
+        for p = 0 to 127 do
+          Uapi.store_byte u ~vaddr:(base + (p * Addr.page_size)) ((p * 11) land 0xFF)
+        done;
+        for p = 0 to 127 do
+          if Uapi.load_byte u ~vaddr:(base + (p * Addr.page_size)) <> (p * 11) land 0xFF
+          then Uapi.exit u 1
+        done)
+  in
+  Kernel.run k;
+  Alcotest.(check (option int)) "exit" (Some 0) (Kernel.exit_status k ~pid);
+  Alcotest.(check bool) "no violations" true (Kernel.violations k = [])
+
+(* Combined stress: several cloaked processes under heavy memory pressure,
+   swapping against each other, every page self-checked. This crosses the
+   scheduler, the swap daemon, eviction of other processes' pages, and the
+   cloaking engine all at once. *)
+let test_multiprocess_cloaked_swap_stress () =
+  let kconfig = { Kernel.default_config with guest_pages = 160 } in
+  let vmm = Cloak.Vmm.create () in
+  let k = Kernel.create ~config:kconfig vmm in
+  let worker seed env =
+    let u = Uapi.of_env env in
+    let pages = 64 in
+    let base = Uapi.malloc u (pages * Addr.page_size) in
+    for pass = 1 to 3 do
+      for p = 0 to pages - 1 do
+        Uapi.store_byte u ~vaddr:(base + (p * Addr.page_size))
+          ((seed + (pass * p)) land 0xFF)
+      done;
+      Uapi.yield u;
+      for p = 0 to pages - 1 do
+        if Uapi.load_byte u ~vaddr:(base + (p * Addr.page_size)) <> (seed + (pass * p)) land 0xFF
+        then Uapi.exit u 1
+      done;
+      Uapi.yield u
+    done
+  in
+  let pids = List.init 4 (fun i -> Kernel.spawn k ~cloaked:true (worker (i * 17))) in
+  Kernel.run k;
+  List.iter
+    (fun pid -> Alcotest.(check (option int)) "worker ok" (Some 0) (Kernel.exit_status k ~pid))
+    pids;
+  Alcotest.(check bool) "no violations" true (Kernel.violations k = []);
+  let c = Cloak.Vmm.counters vmm in
+  Alcotest.(check bool) "swap crypto exercised" true
+    (c.Counters.page_encryptions + c.Counters.clean_reencryptions > 0
+    && c.Counters.disk_writes > 0)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "kernel"
+    [
+      ( "lifecycle",
+        [
+          quick "exit status" test_exit_status;
+          quick "natural return" test_natural_return;
+          quick "getpid" test_getpid;
+        ] );
+      ( "memory",
+        [
+          quick "store/load" test_store_load;
+          quick "stack demand paging" test_stack_demand_paging;
+          quick "segfault kills" test_segfault_kills;
+          quick "malloc many pages" test_malloc_many_pages;
+        ] );
+      ( "files",
+        [
+          quick "roundtrip" test_file_roundtrip;
+          quick "large offsets and holes" test_file_large_offsets;
+          quick "dirs and unlink" test_dirs_and_unlink;
+          quick "enoent" test_enoent;
+        ] );
+      ( "processes",
+        [
+          quick "fork/wait" test_fork_wait;
+          quick "fork copies memory" test_fork_copies_memory;
+          quick "pipe parent-child" test_pipe_parent_child;
+          quick "pipe backpressure" test_pipe_blocking_backpressure;
+          quick "exec" test_exec_replaces_image;
+        ] );
+      ( "signals",
+        [ quick "sigkill" test_sigkill; quick "handler" test_signal_handler_runs ] );
+      ( "scheduling", [ quick "round robin" test_round_robin_interleaving ] );
+      ( "swap",
+        [
+          quick "pressure" test_swap_pressure;
+          quick "multiprocess cloaked stress" test_multiprocess_cloaked_swap_stress;
+        ] );
+      ( "cloaked",
+        [
+          quick "store/load" test_cloaked_store_load;
+          quick "kernel sees ciphertext" test_kernel_sees_ciphertext;
+          quick "cloaked fork" test_cloaked_fork;
+          quick "file io via cloaked buffers" test_cloaked_file_io_uncloaked_buffers;
+          quick "cloaked swap roundtrip" test_cloaked_swap_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,323 @@
+(* Shim tests: syscall marshaling must eliminate per-syscall page crypto,
+   and protected files must round-trip with privacy and integrity intact. *)
+
+open Machine
+open Guest
+open Oshim
+
+let run_cloaked prog =
+  let vmm = Cloak.Vmm.create () in
+  let k = Kernel.create vmm in
+  let pid = Kernel.spawn k ~cloaked:true prog in
+  Kernel.run k;
+  (vmm, k, pid)
+
+let check_exit k pid expected =
+  Alcotest.(check (option int)) "exit status" (Some expected) (Kernel.exit_status k ~pid)
+
+let test_marshaled_io_roundtrip () =
+  let vmm, k, pid =
+    run_cloaked (fun env ->
+        let u = Uapi.of_env env in
+        let shim = Shim.install u in
+        ignore shim;
+        let fd = Uapi.openf u "/f" [ Abi.O_CREAT; Abi.O_RDWR ] in
+        let payload = Bytes.init 10000 (fun i -> Char.chr ((i * 13) land 0xFF)) in
+        Uapi.write_bytes u ~fd payload;
+        ignore (Uapi.lseek u ~fd ~pos:0 ~whence:Abi.Seek_set);
+        let got = Uapi.read_bytes u ~fd ~len:10000 in
+        Uapi.close u fd;
+        if Bytes.equal got payload then Uapi.exit u 0 else Uapi.exit u 1)
+  in
+  ignore vmm;
+  check_exit k pid 0
+
+let crypto_during prog =
+  let vmm = Cloak.Vmm.create () in
+  let k = Kernel.create vmm in
+  let before = ref (0, 0) in
+  let after = ref (0, 0) in
+  let pid =
+    Kernel.spawn k ~cloaked:true (fun env ->
+        let u = Uapi.of_env env in
+        let c = Cloak.Vmm.counters vmm in
+        let setup = prog u in
+        before := (c.Counters.page_encryptions, c.Counters.page_decryptions);
+        setup ();
+        after := (c.Counters.page_encryptions, c.Counters.page_decryptions))
+  in
+  Kernel.run k;
+  Alcotest.(check (option int)) "exit" (Some 0) (Kernel.exit_status k ~pid);
+  let e0, d0 = !before and e1, d1 = !after in
+  (e1 - e0, d1 - d0)
+
+(* The headline property of the shim: repeated writes from cloaked buffers
+   without the shim cause an encrypt/decrypt storm (the kernel's copyin
+   encrypts the pages, the app's next store decrypts them back), while the
+   same I/O through the shim's marshal buffer needs no page crypto at all. *)
+let test_shim_eliminates_crypto () =
+  let io_with_buffers u =
+    let fd = Uapi.openf u "/f" [ Abi.O_CREAT; Abi.O_RDWR ] in
+    let buf = Uapi.malloc u 8192 in
+    fun () ->
+      for i = 1 to 10 do
+        Uapi.store u ~vaddr:buf (Bytes.make 8192 (Char.chr (Char.code 'a' + i)));
+        ignore (Uapi.lseek u ~fd ~pos:0 ~whence:Abi.Seek_set);
+        let written = ref 0 in
+        while !written < 8192 do
+          written := !written + Uapi.write u ~fd ~vaddr:(buf + !written) ~len:(8192 - !written)
+        done
+      done
+  in
+  let enc_noshim, dec_noshim = crypto_during io_with_buffers in
+  let enc_shim, dec_shim =
+    crypto_during (fun u ->
+        let _shim = Shim.install u in
+        io_with_buffers u)
+  in
+  Alcotest.(check bool) "no-shim I/O encrypts heavily" true (enc_noshim >= 20);
+  Alcotest.(check bool) "no-shim I/O decrypts heavily" true (dec_noshim >= 18);
+  Alcotest.(check int) "shim I/O encrypts nothing" 0 enc_shim;
+  Alcotest.(check int) "shim I/O decrypts nothing" 0 dec_shim
+
+(* Reading into a cloaked buffer without the shim is fatal in the general
+   case: the kernel's copyout deposits bytes into the destination page's
+   encrypted view, and unless they happen to be that page's own current
+   ciphertext, the application's next access fails its integrity check.
+   (Reading a page back into the very buffer it was written from restores
+   the identical ciphertext and survives — also faithful.) Unmodified
+   syscalls are unusable from cloaked code; the shim is mandatory. *)
+let test_noshim_read_is_fatal () =
+  let vmm = Cloak.Vmm.create () in
+  let k = Kernel.create vmm in
+  let pid =
+    Kernel.spawn k ~cloaked:true (fun env ->
+        let u = Uapi.of_env env in
+        let fd = Uapi.openf u "/f" [ Abi.O_CREAT; Abi.O_RDWR ] in
+        let buf = Uapi.malloc u 4096 in
+        let buf2 = Uapi.malloc u 4096 in
+        Uapi.store u ~vaddr:buf (Bytes.make 4096 'w');
+        let written = ref 0 in
+        while !written < 4096 do
+          written := !written + Uapi.write u ~fd ~vaddr:(buf + !written) ~len:(4096 - !written)
+        done;
+        ignore (Uapi.lseek u ~fd ~pos:0 ~whence:Abi.Seek_set);
+        (* read into a DIFFERENT cloaked buffer *)
+        ignore (Uapi.read u ~fd ~vaddr:buf2 ~len:4096);
+        (* this load trips the integrity check *)
+        ignore (Uapi.load u ~vaddr:buf2 ~len:16);
+        Uapi.exit u 0)
+  in
+  Kernel.run k;
+  Alcotest.(check (option int)) "killed by security fault" (Some (-2))
+    (Kernel.exit_status k ~pid);
+  match Kernel.violations k with
+  | (_, v) :: _ ->
+      Alcotest.(check string) "violation kind" "integrity"
+        (Cloak.Violation.kind_to_string v.Cloak.Violation.kind)
+  | [] -> Alcotest.fail "no violation recorded"
+
+let test_protected_file_roundtrip () =
+  let _vmm, k, pid =
+    run_cloaked (fun env ->
+        let u = Uapi.of_env env in
+        let shim = Shim.install u in
+        let f = Shim_io.create shim ~path:"/secret" ~pages:4 in
+        let secret = Bytes.of_string "attack at dawn; bring the private key" in
+        Shim_io.write shim f ~pos:0 secret;
+        Shim_io.write shim f ~pos:5000 (Bytes.of_string "second page data");
+        Shim_io.save shim f;
+        Shim_io.close shim f;
+        (* reopen and verify *)
+        let g = Shim_io.open_existing shim ~path:"/secret" in
+        if Shim_io.size g <> 5016 then Uapi.exit u 2;
+        let back = Shim_io.read shim g ~pos:0 ~len:(Bytes.length secret) in
+        if not (Bytes.equal back secret) then Uapi.exit u 3;
+        let page2 = Shim_io.read shim g ~pos:5000 ~len:16 in
+        if not (Bytes.equal page2 (Bytes.of_string "second page data")) then Uapi.exit u 4;
+        Uapi.exit u 0)
+  in
+  check_exit k pid 0
+
+let test_protected_file_on_disk_is_ciphertext () =
+  let secret = Bytes.of_string "SECRETSECRETSECRETSECRETSECRET" in
+  let vmm = Cloak.Vmm.create () in
+  let k = Kernel.create vmm in
+  let pid =
+    Kernel.spawn k ~cloaked:true (fun env ->
+        let u = Uapi.of_env env in
+        let shim = Shim.install u in
+        let f = Shim_io.create shim ~path:"/s" ~pages:1 in
+        Shim_io.write shim f ~pos:0 secret;
+        Shim_io.save shim f;
+        Uapi.sync u)
+  in
+  Kernel.run k;
+  Alcotest.(check (option int)) "exit" (Some 0) (Kernel.exit_status k ~pid);
+  (* inspect the file content as the OS sees it *)
+  let fs = Kernel.fs k in
+  match Fs.lookup fs "/s" with
+  | Error _ -> Alcotest.fail "file missing"
+  | Ok inode -> (
+      match Fs.read_host fs ~inode ~pos:0 ~len:(Bytes.length secret) with
+      | Error _ -> Alcotest.fail "read failed"
+      | Ok data ->
+          Alcotest.(check bool) "content file hides the secret" false
+            (Bytes.equal data secret))
+
+let contains_substring haystack needle =
+  let h = Bytes.to_string haystack and n = Bytes.to_string needle in
+  let hl = String.length h and nl = String.length n in
+  let rec go i = i + nl <= hl && (String.sub h i nl = n || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_tampered_content_detected () =
+  let vmm = Cloak.Vmm.create () in
+  let k = Kernel.create vmm in
+  let pid =
+    Kernel.spawn k ~cloaked:true (fun env ->
+        let u = Uapi.of_env env in
+        let shim = Shim.install u in
+        let f = Shim_io.create shim ~path:"/t" ~pages:1 in
+        Shim_io.write shim f ~pos:0 (Bytes.make 100 'x');
+        Shim_io.save shim f;
+        Shim_io.close shim f;
+        (* The OS flips a byte in the stored ciphertext. *)
+        (match Fs.lookup (Kernel.fs k) "/t" with
+        | Ok inode ->
+            let flip = Bytes.make 1 '\x01' in
+            ignore (Fs.write_host (Kernel.fs k) ~inode ~pos:10 flip)
+        | Error _ -> ());
+        (* Reopen: the metadata verifies, but touching the tampered page
+           must raise a security fault. *)
+        let g = Shim_io.open_existing shim ~path:"/t" in
+        ignore (Shim_io.read shim g ~pos:0 ~len:10);
+        Uapi.exit u 0)
+  in
+  Kernel.run k;
+  Alcotest.(check (option int)) "killed by security fault" (Some (-2))
+    (Kernel.exit_status k ~pid);
+  match Kernel.violations k with
+  | (_, v) :: _ ->
+      Alcotest.(check string) "violation kind" "integrity"
+        (Cloak.Violation.kind_to_string v.Cloak.Violation.kind)
+  | [] -> Alcotest.fail "no violation recorded"
+
+let test_replayed_metadata_detected () =
+  let vmm = Cloak.Vmm.create () in
+  let k = Kernel.create vmm in
+  let stale_meta = ref Bytes.empty in
+  let pid =
+    Kernel.spawn k ~cloaked:true (fun env ->
+        let u = Uapi.of_env env in
+        let shim = Shim.install u in
+        let f = Shim_io.create shim ~path:"/r" ~pages:1 in
+        Shim_io.write shim f ~pos:0 (Bytes.of_string "version one");
+        Shim_io.save shim f;
+        (* the OS squirrels away the old metadata *)
+        (match Fs.lookup (Kernel.fs k) "/r.meta" with
+        | Ok inode -> (
+            match Fs.read_host (Kernel.fs k) ~inode ~pos:0 ~len:(Fs.size (Kernel.fs k) inode) with
+            | Ok b -> stale_meta := b
+            | Error _ -> ())
+        | Error _ -> ());
+        Shim_io.write shim f ~pos:0 (Bytes.of_string "version two!");
+        Shim_io.save shim f;
+        Shim_io.close shim f;
+        (* the OS rolls the metadata file back to the old version *)
+        (match Fs.lookup (Kernel.fs k) "/r.meta" with
+        | Ok inode ->
+            ignore (Fs.truncate (Kernel.fs k) ~inode);
+            ignore (Fs.write_host (Kernel.fs k) ~inode ~pos:0 !stale_meta)
+        | Error _ -> ());
+        let _ = Shim_io.open_existing shim ~path:"/r" in
+        Uapi.exit u 0)
+  in
+  Kernel.run k;
+  Alcotest.(check (option int)) "killed by security fault" (Some (-2))
+    (Kernel.exit_status k ~pid);
+  match Kernel.violations k with
+  | (_, v) :: _ ->
+      Alcotest.(check string) "violation kind" "metadata-forged"
+        (Cloak.Violation.kind_to_string v.Cloak.Violation.kind)
+  | [] -> Alcotest.fail "no violation recorded"
+
+(* A protected file written by one cloaked process and opened by another:
+   the paper's protected-file sharing through the ordinary filesystem. *)
+let test_protected_file_cross_process () =
+  let vmm = Cloak.Vmm.create () in
+  let k = Kernel.create vmm in
+  let payload = Bytes.of_string "shared-protected-payload" in
+  let writer =
+    Kernel.spawn k ~cloaked:true (fun env ->
+        let u = Uapi.of_env env in
+        let shim = Shim.install u in
+        let f = Shim_io.create shim ~path:"/shared" ~pages:1 in
+        Shim_io.write shim f ~pos:0 payload;
+        Shim_io.save shim f;
+        Shim_io.close shim f)
+  in
+  Kernel.run k;
+  Alcotest.(check (option int)) "writer exit" (Some 0) (Kernel.exit_status k ~pid:writer);
+  (* a second cloaked process (later in time, same VMM) opens it *)
+  let reader =
+    Kernel.spawn k ~cloaked:true (fun env ->
+        let u = Uapi.of_env env in
+        let shim = Shim.install u in
+        let f = Shim_io.open_existing shim ~path:"/shared" in
+        let got = Shim_io.read shim f ~pos:0 ~len:(Bytes.length payload) in
+        Uapi.exit u (if Bytes.equal got payload then 0 else 1))
+  in
+  Kernel.run k;
+  Alcotest.(check (option int)) "reader exit" (Some 0) (Kernel.exit_status k ~pid:reader)
+
+let test_swap_of_protected_region_is_ciphertext () =
+  (* force the protected region out to swap and check the swap device never
+     holds plaintext *)
+  let secret = Bytes.make 64 'Z' in
+  let kconfig = { Kernel.default_config with guest_pages = 72 } in
+  let vmm = Cloak.Vmm.create () in
+  let k = Kernel.create ~config:kconfig vmm in
+  let pid =
+    Kernel.spawn k ~cloaked:true (fun env ->
+        let u = Uapi.of_env env in
+        let buf = Uapi.malloc u Addr.page_size in
+        Uapi.store u ~vaddr:buf secret;
+        (* touch enough other pages to push [buf] out *)
+        let filler = Uapi.malloc u (80 * Addr.page_size) in
+        for p = 0 to 79 do
+          Uapi.store_byte u ~vaddr:(filler + (p * Addr.page_size)) p
+        done;
+        (* and bring it back *)
+        if not (Bytes.equal (Uapi.load u ~vaddr:buf ~len:64) secret) then Uapi.exit u 1)
+  in
+  Kernel.run k;
+  Alcotest.(check (option int)) "exit" (Some 0) (Kernel.exit_status k ~pid);
+  let swap = Kernel.swap_device k in
+  let leaked = ref false in
+  for b = 0 to Blockdev.block_count swap - 1 do
+    if contains_substring (Blockdev.peek swap b) secret then leaked := true
+  done;
+  Alcotest.(check bool) "no plaintext on swap" false !leaked
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "shim"
+    [
+      ( "marshaling",
+        [
+          quick "io roundtrip" test_marshaled_io_roundtrip;
+          quick "eliminates page crypto" test_shim_eliminates_crypto;
+          quick "read without shim is fatal" test_noshim_read_is_fatal;
+        ] );
+      ( "protected files",
+        [
+          quick "roundtrip" test_protected_file_roundtrip;
+          quick "ciphertext at rest" test_protected_file_on_disk_is_ciphertext;
+          quick "tamper detected" test_tampered_content_detected;
+          quick "replay detected" test_replayed_metadata_detected;
+          quick "cross-process sharing" test_protected_file_cross_process;
+        ] );
+      ( "paging",
+        [ quick "swap holds ciphertext" test_swap_of_protected_region_is_ciphertext ] );
+    ]
