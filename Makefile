@@ -1,0 +1,25 @@
+# Tier-1 gate plus a short hostile-world smoke. `make ci` is what a
+# pre-merge check should run; the full 25+-seed sweep lives in the test
+# suite itself (test/test_chaos.ml).
+
+DUNE ?= dune
+
+.PHONY: all build test chaos-smoke ci clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test: build
+	$(DUNE) runtest
+
+# 10 seeded fault plans, each run twice (determinism check): fails on any
+# escaped exception, plaintext leak, or nondeterministic audit log.
+chaos-smoke: build
+	$(DUNE) exec bin/overshadow_cli.exe -- chaos --seeds 10
+
+ci: test chaos-smoke
+
+clean:
+	$(DUNE) clean

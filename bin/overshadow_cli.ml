@@ -4,6 +4,7 @@
      overshadow-cli attack tamper-memory      run one malicious-OS attack
      overshadow-cli attack --all              run the whole catalog
      overshadow-cli counters --cloaked        run a workload, dump counters
+     overshadow-cli chaos --seeds 25          seeded fault-injection sweep
      overshadow-cli list                      what's available
 
    The benchmark tables (E1-E8) live in `dune exec bench/main.exe`. *)
@@ -64,6 +65,36 @@ let run_counters cloaked =
   Format.printf "%a@." Machine.Counters.pp result.Harness.counters;
   if Harness.all_exited_zero result then 0 else 1
 
+let run_chaos seeds base verbose =
+  let reports = ref [] in
+  let progress r =
+    reports := r :: !reports;
+    if verbose then Format.printf "%a@." Harness.Chaos.pp_report r
+    else
+      Printf.printf "seed %-10d %3d injections, %2d contained, %s\n"
+        r.Harness.Chaos.seed r.Harness.Chaos.injections r.Harness.Chaos.contained
+        (match (r.Harness.Chaos.crash, r.Harness.Chaos.leaks) with
+        | Some m, _ -> "CRASH " ^ m
+        | None, [] -> "clean"
+        | None, l -> "LEAK " ^ String.concat ", " l)
+  in
+  let v =
+    Harness.Chaos.run_seeds ~progress
+      ~seeds:(Harness.Chaos.seeds_from ~base ~count:seeds)
+      ()
+  in
+  Printf.printf
+    "\n%d seeds (each run twice): %d injections, %d contained faults, %d security kills\n"
+    v.Harness.Chaos.runs v.Harness.Chaos.total_injections v.Harness.Chaos.total_contained
+    v.Harness.Chaos.security_kills;
+  match v.Harness.Chaos.failures with
+  | [] ->
+      Printf.printf "all invariants held: no escapes, no leaks, deterministic replay\n";
+      0
+  | fails ->
+      List.iter (fun (seed, what) -> Printf.printf "FAILED seed %d: %s\n" seed what) fails;
+      1
+
 let run_list () =
   Printf.printf "compute kernels:\n";
   List.iter (fun k -> Printf.printf "  %s\n" k.Workloads.Spec.name) Workloads.Spec.kernels;
@@ -101,6 +132,23 @@ let counters_cmd =
     (Cmd.info "counters" ~doc:"Run the fileio workload and dump all VMM event counters.")
     Term.(const run_counters $ cloaked_flag)
 
+let chaos_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 10 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeded fault plans.")
+  in
+  let base_arg =
+    Arg.(value & opt int 1 & info [ "base" ] ~docv:"SEED" ~doc:"First seed of the sweep.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print each run's fault plan and audit log.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the workload under seeded random fault plans and check the hostile-world \
+          invariants (containment, privacy, deterministic replay).")
+    Term.(const run_chaos $ seeds_arg $ base_arg $ verbose_arg)
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available kernels and attacks.") Term.(const run_list $ const ())
 
@@ -109,4 +157,4 @@ let () =
     Cmd.info "overshadow-cli" ~version:"1.0"
       ~doc:"Overshadow (ASPLOS 2008) reproduction: cloaked execution on a simulated VMM."
   in
-  exit (Cmd.eval' (Cmd.group info [ kernel_cmd; attack_cmd; counters_cmd; list_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ kernel_cmd; attack_cmd; counters_cmd; chaos_cmd; list_cmd ]))

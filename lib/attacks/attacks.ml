@@ -40,8 +40,8 @@ let scan_device dev =
 (* Run a victim whose program receives (kernel, vmm, uapi) plus a hostile
    action to perform "as the OS" at the right moment, and collect the
    stack-wide outcome. *)
-let with_stack ?(kconfig = Kernel.default_config) f =
-  let vmm = Cloak.Vmm.create () in
+let with_stack ?(kconfig = Kernel.default_config) ?engine f =
+  let vmm = Cloak.Vmm.create ?engine () in
   let k = Kernel.create ~config:kconfig vmm in
   let leaked = ref false in
   let pids = f vmm k leaked in
@@ -338,6 +338,100 @@ let cross_process_substitution () =
   |> finish ~name:"cross-process-substitution"
        ~description:"kernel grafts one cloaked process's ciphertext into another's page"
 
+(* --- injection-driven attacks ---
+
+   The same adversary, but acting through the hostile-world fault engine
+   instead of explicit kernel calls: storage tears, entropy failures and
+   device reordering are things a malicious (or merely broken) OS and disk
+   can cause without touching VMM interfaces at all. *)
+
+let inject_rules rules = Inject.create (Inject.plan rules)
+
+(* The write of a protected file's metadata blob to stable storage tears;
+   the truncated blob must read back as a forgery. *)
+let torn_metadata_write () =
+  let engine =
+    inject_rules
+      [ { Inject.site = Meta_export; trigger = Inject.always; action = Torn_write 48 } ]
+  in
+  with_stack ~engine (fun _vmm k leaked ->
+      ignore leaked;
+      [
+        Kernel.spawn k ~cloaked:true (fun env ->
+            let u = Uapi.of_env env in
+            let shim = Shim.install u in
+            let f = Shim_io.create shim ~path:"/vault" ~pages:1 in
+            Shim_io.write shim f ~pos:0 secret;
+            Shim_io.save shim f;
+            Shim_io.close shim f;
+            (* the reopen imports the torn blob *)
+            let _ = Shim_io.open_existing shim ~path:"/vault" in
+            ());
+      ])
+  |> finish ~name:"torn-metadata-write"
+       ~description:"a torn metadata write persists a truncated blob; reopen must reject it"
+
+(* The platform RNG fails and repeats an IV; encrypting different plaintext
+   under a repeated IV would leak their XOR, so the VMM must refuse. *)
+let iv_reuse_attempt () =
+  let engine =
+    inject_rules
+      [ { Inject.site = Crypto_iv; trigger = Inject.always; action = Reuse_iv } ]
+  in
+  with_stack ~engine (fun vmm k leaked ->
+      ignore leaked;
+      [
+        Kernel.spawn k ~cloaked:true (fun env ->
+            let u = Uapi.of_env env in
+            let buf = Uapi.malloc u Addr.page_size in
+            let pt = Cloak.Vmm.page_table vmm ~asid:(Uapi.pid u) in
+            let ppn () =
+              match Page_table.lookup pt (Addr.vpn_of_vaddr buf) with
+              | Some pte -> pte.Page_table.ppn
+              | None -> invalid_arg "iv-reuse: page not mapped"
+            in
+            Uapi.store u ~vaddr:buf secret;
+            (* first encryption establishes the IV the failed RNG will
+               repeat *)
+            ignore (Cloak.Vmm.phys_read vmm (ppn ()) ~off:0 ~len:16);
+            (* dirty the plaintext, then force a second encryption: same
+               IV + different plaintext is the classic CTR-mode break *)
+            Uapi.store u ~vaddr:buf (Bytes.make 32 'x');
+            ignore (Cloak.Vmm.phys_read vmm (ppn ()) ~off:0 ~len:16));
+      ])
+  |> finish ~name:"iv-reuse-attempt"
+       ~description:"RNG repeats an IV across two encryptions of a dirty cloaked page"
+
+(* The disk controller reorders in-flight writes, landing one protected
+   page's ciphertext in another's block. Each page's MAC binds it to its
+   index, so the swapped blocks must fail verification on read-back. *)
+let blockdev_ciphertext_swap () =
+  let engine =
+    inject_rules
+      [ { Inject.site = Blk_write; trigger = Inject.once ~at:2; action = Reorder } ]
+  in
+  with_stack ~engine (fun _vmm k leaked ->
+      ignore leaked;
+      [
+        Kernel.spawn k ~cloaked:true (fun env ->
+            let u = Uapi.of_env env in
+            let shim = Shim.install u in
+            let f = Shim_io.create shim ~path:"/vault" ~pages:2 in
+            Shim_io.write shim f ~pos:0 secret;
+            Shim_io.write shim f ~pos:Addr.page_size (Bytes.make 64 'y');
+            Shim_io.save shim f;
+            Shim_io.close shim f;
+            Uapi.sync u;
+            (* the OS evicts the page cache so the read-back does real DMA
+               from the reordered blocks *)
+            Fs.drop_caches (Kernel.fs k);
+            let f2 = Shim_io.open_existing shim ~path:"/vault" in
+            ignore (Shim_io.read shim f2 ~pos:0 ~len:16);
+            ignore (Shim_io.read shim f2 ~pos:Addr.page_size ~len:16));
+      ])
+  |> finish ~name:"blockdev-ciphertext-swap"
+       ~description:"disk reorders two protected-page writes; read-back must fail the MAC"
+
 let catalog =
   [
     ("peek-memory", peek_memory);
@@ -351,6 +445,9 @@ let catalog =
     ("bad-resume", bad_resume);
     ("replay-protected-file", replay_protected_file);
     ("cross-process-substitution", cross_process_substitution);
+    ("torn-metadata-write", torn_metadata_write);
+    ("iv-reuse-attempt", iv_reuse_attempt);
+    ("blockdev-ciphertext-swap", blockdev_ciphertext_swap);
   ]
 
 let names = List.map fst catalog

@@ -39,10 +39,11 @@ let resume t vmm ~asid ~tid ~handle =
   Vmm.charge vmm (Cost.model (Vmm.cost vmm)).context_save;
   match Hashtbl.find_opt t.table (asid, tid) with
   | None ->
-      Violation.fail Bad_resume "no saved context for asid %d tid %d" asid tid
+      Violation.fail ~resource:(Resource.Anon asid) Bad_resume
+        "no saved context for asid %d tid %d" asid tid
   | Some saved ->
       if saved.handle <> handle then
-        Violation.fail Bad_resume
+        Violation.fail ~resource:(Resource.Anon asid) Bad_resume
           "handle mismatch for asid %d tid %d: kernel presented %d, saved %d" asid
           tid handle saved.handle;
       Hashtbl.remove t.table (asid, tid);

@@ -1,6 +1,12 @@
-type kind = Integrity | Relocation | Lost_plaintext | Bad_resume | Metadata_forged
+type kind =
+  | Integrity
+  | Relocation
+  | Lost_plaintext
+  | Bad_resume
+  | Metadata_forged
+  | Iv_reuse
 
-type t = { kind : kind; detail : string }
+type t = { kind : kind; detail : string; resource : Resource.t option }
 
 exception Security_fault of t
 
@@ -10,9 +16,12 @@ let kind_to_string = function
   | Lost_plaintext -> "lost-plaintext"
   | Bad_resume -> "bad-resume"
   | Metadata_forged -> "metadata-forged"
+  | Iv_reuse -> "iv-reuse"
 
-let fail kind fmt =
-  Format.kasprintf (fun detail -> raise (Security_fault { kind; detail })) fmt
+let fail ?resource kind fmt =
+  Format.kasprintf
+    (fun detail -> raise (Security_fault { kind; detail; resource }))
+    fmt
 
-let pp ppf { kind; detail } =
+let pp ppf { kind; detail; _ } =
   Format.fprintf ppf "security fault [%s]: %s" (kind_to_string kind) detail

@@ -1,10 +1,12 @@
 (** Security faults.
 
     When the cloaking engine detects that the OS (or anything else) has
-    tampered with protected state, it raises a security fault. The policy is
-    fail-stop: the cloaked application is terminated rather than allowed to
-    run on corrupted data. Privacy is enforced unconditionally (the OS only
-    ever sees ciphertext); integrity is enforced by detection. *)
+    tampered with protected state, it raises a security fault. The policy
+    is fail-stop {e per protected resource}: the owning cloaked application
+    is terminated and the resource quarantined rather than allowed to run
+    on corrupted data — the guest and every other cloaked application keep
+    running. Privacy is enforced unconditionally (the OS only ever sees
+    ciphertext); integrity is enforced by detection. *)
 
 type kind =
   | Integrity   (** page MAC verification failed: tampered or rolled back *)
@@ -14,12 +16,21 @@ type kind =
   | Bad_resume  (** attempt to resume a cloaked thread with a context that
                     does not match the saved one *)
   | Metadata_forged (** an imported protected object failed authentication *)
+  | Iv_reuse    (** the entropy source repeated an IV for a fresh
+                    encryption — re-encrypting under it would leak the XOR
+                    of two plaintexts, so the page transition is refused *)
 
-type t = { kind : kind; detail : string }
+type t = {
+  kind : kind;
+  detail : string;
+  resource : Resource.t option;
+      (** the protected resource the fault concerns, when known — the
+          containment layer uses it to kill only the owning process *)
+}
 
 exception Security_fault of t
 
-val fail : kind -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val fail : ?resource:Resource.t -> kind -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** [fail kind fmt ...] raises {!Security_fault} with a formatted detail. *)
 
 val kind_to_string : kind -> string

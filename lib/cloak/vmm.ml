@@ -50,16 +50,19 @@ type t = {
   generations : (int, int) Hashtbl.t;              (* shm id -> freshness *)
   mutable next_shm : int;
   mutable current : Context.t option;
+  engine : Inject.t option;            (* hostile-world fault injection *)
+  audit : Inject.Audit.t;              (* per-VMM event/violation trail *)
+  quarantined : (Resource.t, Violation.kind) Hashtbl.t;
 }
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?engine () =
   let prng = Oscrypto.Prng.create ~seed:config.seed in
   {
     cfg = config;
-    mem = Phys_mem.create ~pages:config.mem_pages;
+    mem = Phys_mem.create ?engine ~pages:config.mem_pages ();
     cost = Cost.create ~model:config.cost_model ();
     counters = Counters.create ();
-    tlb = Tlb.create ~slots:config.tlb_slots ();
+    tlb = Tlb.create ?engine ~slots:config.tlb_slots ();
     page_key = Oscrypto.Aes.expand (Oscrypto.Prng.bytes prng 16);
     mac_key = Oscrypto.Prng.bytes prng 32;
     prng;
@@ -74,12 +77,37 @@ let create ?(config = default_config) () =
     generations = Hashtbl.create 16;
     next_shm = 1;
     current = None;
+    engine;
+    audit =
+      (match engine with
+      | Some e -> Inject.audit e
+      | None -> Inject.Audit.create ());
+    quarantined = Hashtbl.create 4;
   }
 
 let config t = t.cfg
 let cost t = t.cost
 let counters t = t.counters
 let mem t = t.mem
+let engine t = t.engine
+let audit t = t.audit
+
+(* Detection: record the violation in the audit trail and counters, then
+   raise. Every integrity check in the cloaking engine funnels through
+   here so the audit log is a complete, deterministic account of what the
+   hostile world did and when it was caught. *)
+let violate t ?resource kind fmt =
+  Format.kasprintf
+    (fun detail ->
+      t.counters.violations <- t.counters.violations + 1;
+      Inject.Audit.record t.audit "violation [%s]%s %s"
+        (Violation.kind_to_string kind)
+        (match resource with
+        | Some r -> " resource=" ^ Resource.tag r
+        | None -> "")
+        detail;
+      raise (Violation.Security_fault { kind; detail; resource }))
+    fmt
 
 (* --- charging helpers --- *)
 
@@ -162,6 +190,19 @@ let release_ppn t ppn =
   match Hashtbl.find_opt t.pmap ppn with
   | None -> ()
   | Some mpn ->
+      (* trusted reclamation shootdown: no translation to this frame — TLB
+         or shadow PTE — may survive its reuse, even if the guest lost an
+         INVLPG *)
+      Tlb.flush_mpn t.tlb ~mpn;
+      Hashtbl.iter
+        (fun _ table ->
+          let stale =
+            Hashtbl.fold
+              (fun vpn spte acc -> if spte.mpn = mpn then vpn :: acc else acc)
+              table []
+          in
+          List.iter (Hashtbl.remove table) stale)
+        t.shadows;
       Phys_mem.free t.mem mpn;
       Hashtbl.remove t.pmap ppn;
       Hashtbl.remove t.bound ppn
@@ -258,7 +299,18 @@ let encrypt_page ?(reuse = false) t resource idx (e : Metadata.entry) mpn =
     Cost.charge_crypto_page t.cost ~bytes_count:Addr.page_size ~hash:false
   end
   else begin
-    let iv = Oscrypto.Prng.bytes t.prng 16 in
+    let iv =
+      match Inject.fire_opt t.engine Inject.Crypto_iv with
+      | Some Inject.Reuse_iv when Bytes.length e.iv = 16 -> Bytes.copy e.iv
+      | Some _ | None -> Oscrypto.Prng.bytes t.prng 16
+    in
+    (* CTR under a repeated IV would hand the OS the XOR of two plaintexts;
+       a fresh encryption must never reuse the previous IV. (The [reuse]
+       branch above is exempt: it reproduces an identical ciphertext.) *)
+    if e.version > 0 && Bytes.equal iv e.iv then
+      violate t ~resource Iv_reuse
+        "fresh encryption of page %d of %s drew its previous IV" idx
+        (Resource.tag resource);
     let version = e.version + 1 in
     let cipher = Oscrypto.Aes.ctr_transform t.page_key ~iv plain in
     Phys_mem.load_page t.mem mpn cipher;
@@ -282,7 +334,7 @@ let decrypt_page t resource idx (e : Metadata.entry) mpn =
     Metadata.mac_input ~resource ~idx ~version:e.version ~iv:e.iv ~cipher
   in
   if not (Oscrypto.Hmac.verify ~key:t.mac_key ~tag:e.mac input) then
-    Violation.fail Integrity
+    violate t ~resource Integrity
       "page %d of %s fails authentication at version %d (tampered or rolled back)"
       idx (Resource.tag resource) e.version;
   let plain = Oscrypto.Aes.ctr_transform t.page_key ~iv:e.iv cipher in
@@ -305,11 +357,11 @@ let cloak_prepare t ~(view : Context.view) ~(access : Fault.access) ~resource ~i
   | Context.App, Plain ({ home; _ } as p) ->
       if home <> mpn then
         if Phys_mem.allocated t.mem home then
-          Violation.fail Relocation
+          violate t ~resource Relocation
             "plaintext page %d of %s expected at MPN %d but surfaced at MPN %d"
             idx (Resource.tag resource) home mpn
         else
-          Violation.fail Lost_plaintext
+          violate t ~resource Lost_plaintext
             "plaintext page %d of %s was discarded by the OS before encryption"
             idx (Resource.tag resource);
       if p.clean && access = Fault.Write then p.clean <- false;
@@ -329,7 +381,7 @@ let cloak_prepare t ~(view : Context.view) ~(access : Fault.access) ~resource ~i
   | Context.Sys, Plain { home; clean } ->
       hidden_fault t;
       if home <> mpn then
-        Violation.fail Relocation
+        violate t ~resource Relocation
           "system view of plaintext page %d of %s at wrong MPN (%d, home %d)"
           idx (Resource.tag resource) mpn home;
       encrypt_page ~reuse:(clean && t.cfg.clean_reencrypt) t resource idx e mpn;
@@ -467,7 +519,7 @@ let invlpg t ~asid ~vpn =
       | Some table -> Hashtbl.remove table vpn
       | None -> ())
     [ Context.App; Context.Sys ];
-  Tlb.flush_vpn t.tlb ~vpn
+  Tlb.guest_flush_vpn t.tlb ~vpn
 
 let flush_asid t ~asid =
   drop_shadow t (asid, Context.App);
@@ -511,6 +563,22 @@ let uncloak_resource t resource =
       t.bound []
   in
   List.iter (Hashtbl.remove t.bound) stale
+
+(* Fault containment: a security fault condemns exactly one protected
+   resource. Scrub its plaintext homes, drop its metadata and placements,
+   and remember it as condemned — the guest and every other cloaked
+   resource keep running. *)
+let quarantine t resource kind =
+  if not (Hashtbl.mem t.quarantined resource) then begin
+    Hashtbl.replace t.quarantined resource kind;
+    t.counters.quarantines <- t.counters.quarantines + 1;
+    Inject.Audit.record t.audit "quarantine resource=%s after [%s]"
+      (Resource.tag resource)
+      (Violation.kind_to_string kind);
+    uncloak_resource t resource
+  end
+
+let is_quarantined t resource = Hashtbl.mem t.quarantined resource
 
 let drop_cloaked_pages t resource ~base_idx ~pages =
   for idx = base_idx to base_idx + pages - 1 do
@@ -562,7 +630,7 @@ let clone_cloaked t ~src_asid ~dst_asid =
                     Metadata.mac_input ~resource:src ~idx ~version:e.version ~iv:e.iv ~cipher
                   in
                   if not (Oscrypto.Hmac.verify ~key:t.mac_key ~tag:e.mac input) then
-                    Violation.fail Integrity
+                    violate t ~resource:src Integrity
                       "fork: copied page %d of %s fails authentication" idx
                       (Resource.tag src);
                   let plain = Oscrypto.Aes.ctr_transform t.page_key ~iv:e.iv cipher in
@@ -602,21 +670,35 @@ let export_metadata t resource ~pages ~logical_size =
   done;
   let body = Buffer.to_bytes buf in
   let tag = Oscrypto.Hmac.mac ~key:t.mac_key body in
-  Bytes.cat body tag
+  let blob = Bytes.cat body tag in
+  (* hostile world: the write of the blob to stable storage may tear *)
+  match Inject.fire_opt t.engine Inject.Meta_export with
+  | Some (Inject.Torn_write keep) -> Bytes.sub blob 0 (min keep (Bytes.length blob))
+  | Some _ | None -> blob
 
 type imported = { resource : Resource.t; logical_size : int; pages : int }
 
 let import_metadata t blob =
+  (* hostile world: the blob may have been corrupted at rest *)
+  let blob =
+    match Inject.fire_opt t.engine Inject.Meta_import with
+    | Some (Inject.Bit_flip off) when Bytes.length blob > 0 ->
+        let b = Bytes.copy blob in
+        let i = off mod Bytes.length b in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+        b
+    | Some _ | None -> blob
+  in
   let total = Bytes.length blob in
-  if total < 32 then Violation.fail Metadata_forged "metadata blob truncated";
+  if total < 32 then violate t Metadata_forged "metadata blob truncated";
   let body = Bytes.sub blob 0 (total - 32) in
   let tag = Bytes.sub blob (total - 32) 32 in
   if not (Oscrypto.Hmac.verify ~key:t.mac_key ~tag body) then
-    Violation.fail Metadata_forged "metadata blob fails authentication";
+    violate t Metadata_forged "metadata blob fails authentication";
   let header_end =
     match Bytes.index_opt body '\n' with
     | Some i -> i
-    | None -> Violation.fail Metadata_forged "metadata blob missing header"
+    | None -> violate t Metadata_forged "metadata blob missing header"
   in
   let header = Bytes.sub_string body 0 header_end in
   let id, generation, logical_size, pages =
@@ -628,12 +710,12 @@ let import_metadata t blob =
               int_of_string generation,
               int_of_string size,
               int_of_string pages )
-        | _ -> Violation.fail Metadata_forged "metadata blob has non-shm resource")
-    | _ -> Violation.fail Metadata_forged "metadata blob header malformed"
+        | _ -> violate t Metadata_forged "metadata blob has non-shm resource")
+    | _ -> violate t Metadata_forged "metadata blob header malformed"
   in
   (match Hashtbl.find_opt t.generations id with
   | Some current when generation < current ->
-      Violation.fail Metadata_forged
+      violate t ~resource:(Resource.Shm id) Metadata_forged
         "metadata blob for shm:%d is stale (generation %d, current %d)" id generation
         current
   | Some _ | None -> Hashtbl.replace t.generations id generation);
@@ -655,6 +737,8 @@ let import_metadata t blob =
         e.version <- version;
         e.iv <- iv;
         e.mac <- mac
-    | _ -> Violation.fail Metadata_forged "metadata blob has corrupt page record"
+    | _ ->
+        violate t ~resource Metadata_forged
+          "metadata blob has corrupt page record"
   done;
   { resource; logical_size; pages }

@@ -37,11 +37,20 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?engine:Inject.t -> unit -> t
+(** With [engine], every hostile-world hook point (machine memory, TLB,
+    IV generation, metadata persistence) is subject to the engine's fault
+    plan, and injections share the VMM's audit trail. *)
+
 val config : t -> config
 val cost : t -> Cost.t
 val counters : t -> Counters.t
 val mem : t -> Phys_mem.t
+val engine : t -> Inject.t option
+val audit : t -> Inject.Audit.t
+(** Deterministic per-VMM event trail: every injection, violation and
+    quarantine in the order it happened. Identical seeds must reproduce
+    identical trails — the chaos harness asserts this. *)
 
 (** {1 Address spaces} *)
 
@@ -110,6 +119,14 @@ val resource_at : t -> asid:int -> vpn:Addr.vpn -> (Resource.t * int) option
 val uncloak_resource : t -> Resource.t -> unit
 (** Tear down a resource: scrub any plaintext homes, drop metadata and
     placements (process exit / object destruction). *)
+
+val quarantine : t -> Resource.t -> Violation.kind -> unit
+(** Fault containment: condemn exactly one protected resource after a
+    security fault. Scrubs and tears it down like {!uncloak_resource},
+    records the event in the audit trail, and bumps the quarantine
+    counter. Idempotent. The guest and other resources are unaffected. *)
+
+val is_quarantined : t -> Resource.t -> bool
 
 val fresh_shm : t -> Resource.t
 

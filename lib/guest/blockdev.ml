@@ -1,10 +1,15 @@
 open Machine
 
+exception Io_error of string
+
 type t = {
   vmm : Cloak.Vmm.t;
   store : bytes array;
   mutable free : int list;
   mutable next_fresh : int;
+  mutable pending_reorder : (int * bytes) option;
+      (* a write whose payload the hostile controller is holding back,
+         waiting to swap it with the next write's *)
 }
 
 let create ~vmm ~blocks =
@@ -14,11 +19,17 @@ let create ~vmm ~blocks =
     store = Array.init blocks (fun _ -> Bytes.make Addr.page_size '\000');
     free = [];
     next_fresh = 0;
+    pending_reorder = None;
   }
 
 let block_count t = Array.length t.store
 
+let engine t = Cloak.Vmm.engine t.vmm
+
 let alloc_block t =
+  (match Inject.fire_opt (engine t) Inject.Blk_alloc with
+  | Some Inject.Exhaust -> raise (Errno.Error ENOSPC)
+  | Some _ | None -> ());
   if t.next_fresh < Array.length t.store then begin
     let b = t.next_fresh in
     t.next_fresh <- t.next_fresh + 1;
@@ -39,17 +50,41 @@ let charge_disk t =
   Cloak.Vmm.charge t.vmm (Cost.model (Cloak.Vmm.cost t.vmm)).disk_op
 
 let read_block t b ~ppn =
+  let action = Inject.fire_opt (engine t) Inject.Blk_read in
+  (match action with
+  | Some Inject.Io_error -> raise (Io_error (Printf.sprintf "read of block %d" b))
+  | Some _ | None -> ());
   charge_disk t;
   (Cloak.Vmm.counters t.vmm).disk_reads <-
     (Cloak.Vmm.counters t.vmm).disk_reads + 1;
-  Cloak.Vmm.phys_write t.vmm ppn ~off:0 t.store.(b)
+  match action with
+  | Some (Inject.Short_read n) ->
+      (* the DMA stops early; the tail of the destination page keeps
+         whatever the allocator left there *)
+      Cloak.Vmm.phys_write t.vmm ppn ~off:0
+        (Bytes.sub t.store.(b) 0 (max 0 (min n Addr.page_size)))
+  | Some _ | None -> Cloak.Vmm.phys_write t.vmm ppn ~off:0 t.store.(b)
 
 let write_block t b ~ppn =
+  let action = Inject.fire_opt (engine t) Inject.Blk_write in
+  (match action with
+  | Some Inject.Io_error -> raise (Io_error (Printf.sprintf "write of block %d" b))
+  | Some _ | None -> ());
   charge_disk t;
   (Cloak.Vmm.counters t.vmm).disk_writes <-
     (Cloak.Vmm.counters t.vmm).disk_writes + 1;
   let data = Cloak.Vmm.phys_read t.vmm ppn ~off:0 ~len:Addr.page_size in
-  Bytes.blit data 0 t.store.(b) 0 Addr.page_size
+  match t.pending_reorder with
+  | Some (b0, d0) ->
+      (* complete a held-back write by swapping payloads: the earlier
+         write's data lands here, ours lands on its block *)
+      t.pending_reorder <- None;
+      Bytes.blit data 0 t.store.(b0) 0 Addr.page_size;
+      Bytes.blit d0 0 t.store.(b) 0 Addr.page_size
+  | None -> (
+      match action with
+      | Some Inject.Reorder -> t.pending_reorder <- Some (b, data)
+      | Some _ | None -> Bytes.blit data 0 t.store.(b) 0 Addr.page_size)
 
 let peek t b = Bytes.copy t.store.(b)
 

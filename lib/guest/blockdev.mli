@@ -6,7 +6,15 @@
 
 type t
 
+exception Io_error of string
+(** A transient device error (injected at the [Blk_read]/[Blk_write] hook
+    points). Retryable: the failed transfer had no effect. Callers retry
+    with bounded backoff and surface [Errno.EIO] if the error persists. *)
+
 val create : vmm:Cloak.Vmm.t -> blocks:int -> t
+(** The device probes the VMM's fault-injection engine (if any) on every
+    allocation and DMA. *)
+
 val block_count : t -> int
 
 val alloc_block : t -> int
@@ -15,10 +23,12 @@ val alloc_block : t -> int
 val free_block : t -> int -> unit
 
 val read_block : t -> int -> ppn:Machine.Addr.ppn -> unit
-(** DMA one block into a guest physical page. *)
+(** DMA one block into a guest physical page. May raise {!Io_error}, or DMA
+    only a prefix under a short-read injection. *)
 
 val write_block : t -> int -> ppn:Machine.Addr.ppn -> unit
-(** DMA one guest physical page to a block. *)
+(** DMA one guest physical page to a block. May raise {!Io_error}; a
+    reorder injection swaps this payload with the next write's. *)
 
 val peek : t -> int -> bytes
 (** Raw block contents, as visible to an adversary with the disk. *)

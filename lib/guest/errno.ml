@@ -12,6 +12,7 @@ type t =
   | ESRCH
   | EACCES
   | ENOSPC
+  | EIO
 
 let to_string = function
   | ENOENT -> "ENOENT"
@@ -27,6 +28,7 @@ let to_string = function
   | ESRCH -> "ESRCH"
   | EACCES -> "EACCES"
   | ENOSPC -> "ENOSPC"
+  | EIO -> "EIO"
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 

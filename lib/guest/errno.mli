@@ -15,6 +15,7 @@ type t =
   | ESRCH
   | EACCES
   | ENOSPC
+  | EIO  (** device error that survived the kernel's bounded retries *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

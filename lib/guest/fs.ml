@@ -201,13 +201,31 @@ let size t id = (inode t id).size
 
 (* --- page cache --- *)
 
+(* Transient device errors are retried with exponential backoff (charged
+   as idle disk waits); only a persistent failure surfaces as EIO. A
+   failed DMA has no effect, so retrying is always safe. *)
+let io_retry_limit = 3
+
+let with_disk_retry t f =
+  let rec go attempt =
+    try f ()
+    with Blockdev.Io_error _ ->
+      let c = Cloak.Vmm.counters t.vmm in
+      c.io_retries <- c.io_retries + 1;
+      Cloak.Vmm.charge t.vmm
+        ((Cost.model (Cloak.Vmm.cost t.vmm)).disk_op * (1 lsl attempt));
+      if attempt >= io_retry_limit then raise (Errno.Error EIO)
+      else go (attempt + 1)
+  in
+  go 0
+
 let cache_page t ino idx =
   match Hashtbl.find_opt t.cache (ino.id, idx) with
   | Some entry -> entry
   | None ->
       let ppn = t.alloc_ppn () in
       (match Hashtbl.find_opt ino.blocks idx with
-      | Some block -> Blockdev.read_block t.dev block ~ppn
+      | Some block -> with_disk_retry t (fun () -> Blockdev.read_block t.dev block ~ppn)
       | None ->
           (* hole: fresh zero page *)
           Cloak.Vmm.phys_write t.vmm ppn ~off:0 (Bytes.make Addr.page_size '\000'));
@@ -317,7 +335,7 @@ let writeback_entry t (id, idx) entry =
           Hashtbl.add ino.blocks idx block;
           block
     in
-    Blockdev.write_block t.dev block ~ppn:entry.ppn;
+    with_disk_retry t (fun () -> Blockdev.write_block t.dev block ~ppn:entry.ppn);
     entry.dirty <- false
   end
 

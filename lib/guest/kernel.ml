@@ -106,6 +106,20 @@ let proc_count t = Hashtbl.length t.procs
 
 (* --- guest physical page pool with swap-backed eviction --- *)
 
+(* Transient swap-device errors get the same bounded retry-with-backoff as
+   the filesystem's page cache; only a persistent failure surfaces as EIO. *)
+let swap_retry t f =
+  let rec go attempt =
+    try f ()
+    with Blockdev.Io_error _ ->
+      let c = Cloak.Vmm.counters t.vmm in
+      c.io_retries <- c.io_retries + 1;
+      Cloak.Vmm.charge t.vmm
+        ((Cost.model (Cloak.Vmm.cost t.vmm)).disk_op * (1 lsl attempt));
+      if attempt >= 3 then raise (Errno.Error EIO) else go (attempt + 1)
+  in
+  go 0
+
 let release_guest_page t ppn =
   Cloak.Vmm.release_ppn t.vmm ppn;
   t.free_ppns <- ppn :: t.free_ppns
@@ -141,7 +155,7 @@ and evict_one t =
    so a cloaked plaintext page is encrypted before it ever reaches swap. *)
 and swap_out t proc vpn (pte : Page_table.pte) =
   let block = Blockdev.alloc_block t.swap in
-  Blockdev.write_block t.swap block ~ppn:pte.ppn;
+  swap_retry t (fun () -> Blockdev.write_block t.swap block ~ppn:pte.ppn);
   Page_table.unmap proc.pt vpn;
   Cloak.Vmm.invlpg t.vmm ~asid:(Page_table.asid proc.pt) ~vpn;
   release_guest_page t pte.ppn;
@@ -156,7 +170,7 @@ let map_user_page t proc vpn =
 let swap_in t proc vpn =
   let block = Hashtbl.find proc.swap_map vpn in
   let ppn = map_user_page t proc vpn in
-  Blockdev.read_block t.swap block ~ppn;
+  swap_retry t (fun () -> Blockdev.read_block t.swap block ~ppn);
   Blockdev.free_block t.swap block;
   Hashtbl.remove proc.swap_map vpn
 
@@ -332,11 +346,13 @@ let do_exit t proc status =
   if proc.state <> Dead then begin
     let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) proc.fds [] in
     List.iter (fun fd -> ignore (close_fd t proc fd)) fds;
-    free_all_memory t proc;
+    (* scrub cloaked plaintext while its pages are still allocated: freeing
+       first would let a failed scrub leave plaintext in a reusable frame *)
     if proc.env.cloaked then begin
       Cloak.Vmm.uncloak_resource t.vmm (anon_resource proc);
       Cloak.Transfer.discard t.transfer ~asid:proc.pid ~tid:proc.pid
     end;
+    free_all_memory t proc;
     Cloak.Vmm.destroy_address_space t.vmm ~asid:proc.pid;
     Hashtbl.replace t.exit_log proc.pid status;
     (* orphan the children; reap any zombies among them *)
@@ -365,6 +381,69 @@ let do_exit t proc status =
       Hashtbl.remove t.procs proc.pid
     end
   end
+
+(* --- fault containment --- *)
+
+let security_exit_status = -2
+let machine_check_exit_status = -3
+let oom_exit_status = 137
+
+(* Terminate a process other than the one currently executing. If it is
+   parked in a syscall or scheduled with a continuation, reroute the fiber
+   through an Exited unwind so it finalizes normally; otherwise tear it
+   down directly. *)
+let kill_contained t victim status =
+  match (victim.pending, victim.task) with
+  | Some (_, cont), _ | None, Some (Continue (cont, _) | Raise (cont, _)) ->
+      victim.pending <- None;
+      victim.task <- Some (Raise (cont, Abi.Exited status));
+      victim.state <- Runnable;
+      enqueue t victim
+  | None, (Some (Start _) | None) ->
+      if victim.env.cloaked then
+        Cloak.Transfer.discard t.transfer ~asid:victim.pid ~tid:victim.pid;
+      do_exit t victim status
+
+(* The single containment point for security faults. Quarantine exactly the
+   condemned resource in the VMM and identify the owning cloaked process:
+   the caller kills only that process (distinct exit status -2) while the
+   guest and every other process keep running. Returns [`Self] when the
+   current process owns the resource (the usual case — its own fault
+   unwind finishes the kill), [`Other] after killing a different owner. *)
+let contain_violation t proc (v : Cloak.Violation.t) =
+  let c = Cloak.Vmm.counters t.vmm in
+  c.contained <- c.contained + 1;
+  (match v.resource with
+  | Some r -> Cloak.Vmm.quarantine t.vmm r v.kind
+  | None -> ());
+  let owner =
+    match v.resource with
+    | Some (Cloak.Resource.Anon asid) when asid <> proc.pid -> (
+        match Hashtbl.find_opt t.procs asid with
+        | Some p -> (
+            match p.state with
+            | Runnable | Blocked _ -> Some p
+            | Zombie _ | Dead -> None (* already gone; nothing left to kill *))
+        | None -> None)
+    | Some _ | None -> Some proc
+  in
+  match owner with
+  | Some p when p.pid = proc.pid ->
+      t.violations <- (proc.pid, v) :: t.violations;
+      `Self
+  | Some p ->
+      t.violations <- (p.pid, v) :: t.violations;
+      kill_contained t p security_exit_status;
+      `Other
+  | None ->
+      t.violations <- (proc.pid, v) :: t.violations;
+      `Other
+
+let contain_machine_check t proc msg =
+  let c = Cloak.Vmm.counters t.vmm in
+  c.contained <- c.contained + 1;
+  Inject.Audit.record (Cloak.Vmm.audit t.vmm) "machine-check pid=%d %s"
+    proc.pid msg
 
 (* --- fault resolution --- *)
 
@@ -587,6 +666,12 @@ let sys_munmap t proc start_vpn pages =
   with
   | None -> err Errno.EINVAL
   | Some area ->
+      (* scrub-before-free: drop the cloak (zeroing plaintext homes) while
+         the backing frames are still allocated *)
+      if area.cloaked_area then begin
+        Cloak.Vmm.uncloak_range t.vmm ~asid:proc.pid ~start_vpn;
+        Cloak.Vmm.drop_cloaked_pages t.vmm (anon_resource proc) ~base_idx:start_vpn ~pages
+      end;
       for vpn = start_vpn to start_vpn + pages - 1 do
         (match Page_table.lookup proc.pt vpn with
         | Some pte ->
@@ -600,10 +685,6 @@ let sys_munmap t proc start_vpn pages =
             Hashtbl.remove proc.swap_map vpn
         | None -> ()
       done;
-      if area.cloaked_area then begin
-        Cloak.Vmm.uncloak_range t.vmm ~asid:proc.pid ~start_vpn;
-        Cloak.Vmm.drop_cloaked_pages t.vmm (anon_resource proc) ~base_idx:start_vpn ~pages
-      end;
       proc.areas <- List.filter (fun a -> a != area) proc.areas;
       Done Abi.Unit
 
@@ -706,14 +787,15 @@ let sys_fork t proc child_prog =
   Done (Abi.Int child.pid)
 
 let sys_exec t proc prog cloak =
-  (* tear the image down, keep the fd table (POSIX exec semantics) *)
-  free_all_memory t proc;
+  (* tear the image down, keep the fd table (POSIX exec semantics);
+     scrub cloaked plaintext before the frames are freed *)
   List.iter
     (fun (a : area) ->
       if a.cloaked_area && a.pages > 0 then
         Cloak.Vmm.uncloak_range t.vmm ~asid:proc.pid ~start_vpn:a.start_vpn)
     proc.areas;
   if proc.env.cloaked then Cloak.Vmm.uncloak_resource t.vmm (anon_resource proc);
+  free_all_memory t proc;
   Cloak.Vmm.flush_asid t.vmm ~asid:proc.pid;
   (* cloaking follows the binary: exec may enter or leave the cloak *)
   (match cloak with Some c -> proc.env.cloaked <- c | None -> ());
@@ -808,8 +890,12 @@ let enter_fiber t proc task =
             (fun e ->
               match e with
               | Cloak.Violation.Security_fault v ->
-                  t.violations <- (proc.pid, v) :: t.violations;
-                  do_exit t proc (-2)
+                  ignore (contain_violation t proc v);
+                  do_exit t proc security_exit_status
+              | Fault.Machine_check msg ->
+                  contain_machine_check t proc msg;
+                  do_exit t proc machine_check_exit_status
+              | Phys_mem.Out_of_memory -> do_exit t proc oom_exit_status
               | User_segv _ -> do_exit t proc 139
               | Errno.Error _ -> do_exit t proc 1
               | e -> raise e);
@@ -870,10 +956,30 @@ let handle_syscall t proc call cont =
   | _ ->
       Cloak.Vmm.syscall_trap t.vmm;
       transfer_enter t proc);
+  (* Containment boundary: no fault raised while servicing a syscall —
+     whatever path it came through (fs, pipe, fork, mmap, swap) — may
+     unwind the run loop. Security faults reach the pid-kill containment
+     point; machine-level failures become errors or contained kills. *)
   let outcome =
     try exec_call t proc call with
     | User_segv _ -> Terminate 139
     | Errno.Error e -> Done (Abi.Err e)
+    | Phys_mem.Out_of_memory ->
+        (* machine memory exhausted while servicing the call *)
+        Done (Abi.Err Errno.ENOMEM)
+    | Blockdev.Io_error _ ->
+        (* a transient device error that escaped the retry layers *)
+        Done (Abi.Err Errno.EIO)
+    | Fault.Machine_check msg ->
+        contain_machine_check t proc msg;
+        Terminate machine_check_exit_status
+    | Cloak.Violation.Security_fault v -> (
+        match contain_violation t proc v with
+        | `Self -> Terminate security_exit_status
+        | `Other ->
+            (* another process owned the condemned resource and was killed;
+               this caller's syscall merely aborts *)
+            Done (Abi.Err Errno.EIO))
   in
   match outcome with
   | Done v -> (

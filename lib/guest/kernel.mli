@@ -41,7 +41,9 @@ val run : t -> unit
 
 val exit_status : t -> pid:int -> int option
 (** The recorded exit status of a finished process. Security-fault victims
-    report status [-2]; segfaults 139; killed by signal [128 + signum]. *)
+    report status [-2]; machine-check victims (a stale translation reached
+    freed machine memory) [-3]; processes OOM-killed while touching user
+    memory 137; segfaults 139; killed by signal [128 + signum]. *)
 
 val violations : t -> (int * Cloak.Violation.t) list
 (** Security faults the VMM raised, with the victim pid, newest first. *)

@@ -1,0 +1,54 @@
+(** Chaos harness: hostile-world testing of the whole stack.
+
+    Each seed derives a random fault plan ({!Inject.random_plan}) and runs
+    a fixed mixed workload under it: a cloaked protagonist that moves a
+    known secret through anonymous memory, a protected file, fork and a
+    pipe, and an uncloaked antagonist generating memory pressure and disk
+    traffic. Three invariants must hold for every seed:
+
+    - {b containment}: no exception escapes the kernel loop — injected
+      faults end as errno results, contained process kills or quarantines;
+    - {b privacy}: the plaintext secret never appears on any OS-visible
+      surface (machine memory after the run, RAM remanence, disk or swap
+      blocks);
+    - {b determinism}: running the same seed twice produces bit-identical
+      audit logs, so any chaos failure is replayable. *)
+
+val secret : string
+(** The canary planted in cloaked memory by the workload. *)
+
+val contains_secret : bytes -> bool
+
+val kconfig : Guest.Kernel.config
+(** Deliberately tight guest memory so the workload swaps. *)
+
+type report = {
+  seed : int;
+  plan : Inject.plan;
+  crash : string option;   (** exception escaping [Kernel.run], if any *)
+  leaks : string list;     (** OS-visible surfaces holding the secret *)
+  audit : string list;
+  injections : int;
+  contained : int;
+  exit_statuses : (int * int option) list;
+}
+
+val run_once : seed:int -> report
+(** One seeded chaos run (fresh stack, fresh plan). *)
+
+type verdict = {
+  runs : int;
+  total_injections : int;
+  total_contained : int;
+  security_kills : int;    (** processes terminated with status -2 *)
+  failures : (int * string) list;  (** (seed, broken invariant) — empty
+                                       when the hostile world lost *)
+}
+
+val run_seeds :
+  ?progress:(report -> unit) -> seeds:int list -> unit -> verdict
+(** Run every seed twice (for the determinism invariant) and aggregate. *)
+
+val seeds_from : base:int -> count:int -> int list
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,3 +1,5 @@
+module Chaos = Chaos
+
 open Machine
 open Guest
 
@@ -6,10 +8,12 @@ type result = {
   counters : Counters.t;
   exit_statuses : (int * int option) list;
   violations : (int * Cloak.Violation.t) list;
+  audit : string list;
+  injections : int;
 }
 
-let run ?vconfig ?kconfig ~spawn () =
-  let vmm = Cloak.Vmm.create ?config:vconfig () in
+let run ?vconfig ?kconfig ?engine ~spawn () =
+  let vmm = Cloak.Vmm.create ?config:vconfig ?engine () in
   let k = Kernel.create ?config:kconfig vmm in
   let before_cycles = Cost.cycles (Cloak.Vmm.cost vmm) in
   let before = Counters.snapshot (Cloak.Vmm.counters vmm) in
@@ -22,10 +26,12 @@ let run ?vconfig ?kconfig ~spawn () =
     counters;
     exit_statuses = List.map (fun pid -> (pid, Kernel.exit_status k ~pid)) pids;
     violations = Kernel.violations k;
+    audit = Inject.Audit.lines (Cloak.Vmm.audit vmm);
+    injections = (match engine with Some e -> Inject.injections e | None -> 0);
   }
 
-let run_program ?vconfig ?kconfig ?(cloaked = false) prog =
-  run ?vconfig ?kconfig ~spawn:(fun k -> [ Kernel.spawn k ~cloaked prog ]) ()
+let run_program ?vconfig ?kconfig ?engine ?(cloaked = false) prog =
+  run ?vconfig ?kconfig ?engine ~spawn:(fun k -> [ Kernel.spawn k ~cloaked prog ]) ()
 
 let all_exited_zero r =
   List.for_all (fun (_, status) -> status = Some 0) r.exit_statuses

@@ -2,25 +2,36 @@
     CLI: builds a fresh VMM + kernel stack, runs a scenario, and reports
     deterministic cycle counts and event counters. *)
 
+module Chaos = Chaos
+(** Re-export: the seeded chaos harness (randomized fault plans over a
+    mixed cloaked/uncloaked workload; see {!Chaos.run_seeds}). *)
+
 type result = {
   cycles : int;                 (** model cycles consumed by the scenario *)
   counters : Machine.Counters.t;(** event deltas over the scenario *)
   exit_statuses : (int * int option) list;  (** per spawned pid *)
   violations : (int * Cloak.Violation.t) list;
+  audit : string list;
+      (** the VMM's deterministic event trail: every injection, violation,
+          quarantine and machine check, in order *)
+  injections : int;  (** fault-plan rule firings during the run *)
 }
 
 val run :
   ?vconfig:Cloak.Vmm.config ->
   ?kconfig:Guest.Kernel.config ->
+  ?engine:Inject.t ->
   spawn:(Guest.Kernel.t -> int list) ->
   unit ->
   result
 (** Create a stack, let [spawn] start processes (returning their pids) and
-    run to completion. Counter and cycle deltas cover the whole run. *)
+    run to completion. Counter and cycle deltas cover the whole run. With
+    [engine], the stack runs under that fault-injection plan. *)
 
 val run_program :
   ?vconfig:Cloak.Vmm.config ->
   ?kconfig:Guest.Kernel.config ->
+  ?engine:Inject.t ->
   ?cloaked:bool ->
   Guest.Abi.program ->
   result

@@ -1,0 +1,18 @@
+type t = { mutable entries : string list; mutable seq : int }
+
+let create () = { entries = []; seq = 0 }
+
+let record t fmt =
+  Format.kasprintf
+    (fun line ->
+      t.entries <- Printf.sprintf "#%03d %s" t.seq line :: t.entries;
+      t.seq <- t.seq + 1)
+    fmt
+
+let lines t = List.rev t.entries
+let count t = t.seq
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun l -> Format.fprintf ppf "%s@," l) (lines t);
+  Format.fprintf ppf "@]"

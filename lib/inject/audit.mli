@@ -1,0 +1,17 @@
+(** Append-only audit trail shared by the fault-injection engine, the VMM
+    and the guest kernel's containment layer. Entries are sequence-numbered
+    in the order they happen, so two runs of the same seeded scenario must
+    produce bit-identical logs — the chaos harness's replay invariant. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Append one formatted line, stamped with the next sequence number. *)
+
+val lines : t -> string list
+(** All entries, oldest first. *)
+
+val count : t -> int
+val pp : Format.formatter -> t -> unit

@@ -17,6 +17,10 @@ type t = {
   mutable context_switches : int;
   mutable timer_ticks : int;
   mutable bytes_copied : int;
+  mutable violations : int;
+  mutable contained : int;
+  mutable quarantines : int;
+  mutable io_retries : int;
 }
 
 let create () =
@@ -39,6 +43,10 @@ let create () =
     context_switches = 0;
     timer_ticks = 0;
     bytes_copied = 0;
+    violations = 0;
+    contained = 0;
+    quarantines = 0;
+    io_retries = 0;
   }
 
 let reset t =
@@ -59,7 +67,11 @@ let reset t =
   t.disk_writes <- 0;
   t.context_switches <- 0;
   t.timer_ticks <- 0;
-  t.bytes_copied <- 0
+  t.bytes_copied <- 0;
+  t.violations <- 0;
+  t.contained <- 0;
+  t.quarantines <- 0;
+  t.io_retries <- 0
 
 let snapshot t = { t with tlb_hits = t.tlb_hits }
 
@@ -83,6 +95,10 @@ let diff ~after ~before =
     context_switches = after.context_switches - before.context_switches;
     timer_ticks = after.timer_ticks - before.timer_ticks;
     bytes_copied = after.bytes_copied - before.bytes_copied;
+    violations = after.violations - before.violations;
+    contained = after.contained - before.contained;
+    quarantines = after.quarantines - before.quarantines;
+    io_retries = after.io_retries - before.io_retries;
   }
 
 let rows t =
@@ -105,6 +121,10 @@ let rows t =
     ("context_switches", t.context_switches);
     ("timer_ticks", t.timer_ticks);
     ("bytes_copied", t.bytes_copied);
+    ("violations", t.violations);
+    ("contained", t.contained);
+    ("quarantines", t.quarantines);
+    ("io_retries", t.io_retries);
   ]
 
 let pp ppf t =

@@ -20,6 +20,10 @@ type t = {
   mutable context_switches : int;
   mutable timer_ticks : int;
   mutable bytes_copied : int;
+  mutable violations : int;
+  mutable contained : int;
+  mutable quarantines : int;
+  mutable io_retries : int;
 }
 
 val create : unit -> t

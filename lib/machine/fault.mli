@@ -21,3 +21,12 @@ exception Guest_page_fault of page_fault
 
 val guest_fault : Addr.vpn -> access -> page_fault_kind -> 'a
 val pp_page_fault : Format.formatter -> page_fault -> unit
+
+exception Machine_check of string
+(** Simulated hardware detected inconsistent state — e.g. a stale TLB or
+    shadow translation reaching a machine page that is no longer allocated
+    (possible only under fault injection or a hostile guest kernel). Not
+    resolvable by the guest; the kernel's containment layer kills the
+    affected process instead of letting the machine unwind. *)
+
+val machine_check : ('a, Format.formatter, unit, 'b) format4 -> 'a

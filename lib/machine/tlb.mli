@@ -7,8 +7,10 @@ type entry = { shadow : int; vpn : Addr.vpn; mpn : Addr.mpn; writable : bool }
 
 type t
 
-val create : ?slots:int -> unit -> t
-(** Direct-mapped with [slots] entries (default 256, power of two). *)
+val create : ?engine:Inject.t -> ?slots:int -> unit -> t
+(** Direct-mapped with [slots] entries (default 256, power of two). With an
+    injection engine, inserts ({!Inject.Tlb_insert}) and guest-initiated
+    invalidations ({!Inject.Tlb_flush}) become hostile-world hook points. *)
 
 val lookup : t -> shadow:int -> vpn:Addr.vpn -> entry option
 (** The entry for this shadow and VPN, if cached. The caller decides whether
@@ -18,4 +20,16 @@ val insert : t -> entry -> unit
 val flush_all : t -> unit
 val flush_shadow : t -> shadow:int -> unit
 val flush_vpn : t -> vpn:Addr.vpn -> unit
-(** Remove all entries for a VPN in any shadow (INVLPG analogue). *)
+(** Remove all entries for a VPN in any shadow. This is the VMM's own
+    trusted shootdown — never subject to injection. *)
+
+val flush_mpn : t -> mpn:Addr.mpn -> unit
+(** Remove every entry translating to a machine frame, in any shadow. The
+    VMM's reclamation shootdown (trusted, never injected): a frame is
+    flushed before reuse, so a lost guest invalidation can at worst serve
+    a process its own stale frame, never someone else's. *)
+
+val guest_flush_vpn : t -> vpn:Addr.vpn -> unit
+(** INVLPG on behalf of the guest kernel. Under a [Stale_entry] injection
+    the invalidation is lost and the stale translation survives — the
+    desync a hostile or buggy guest can produce. *)

@@ -16,6 +16,10 @@ let expectations =
     ("bad-resume", true, true, Some "bad-resume");
     ("replay-protected-file", true, true, Some "metadata-forged");
     ("cross-process-substitution", true, true, Some "integrity");
+    (* injection-driven: the hostile world acts through the fault engine *)
+    ("torn-metadata-write", true, true, Some "metadata-forged");
+    ("iv-reuse-attempt", true, true, Some "iv-reuse");
+    ("blockdev-ciphertext-swap", true, true, Some "integrity");
   ]
 
 let test_attack (name, must_not_leak, must_detect, expected_violation) () =

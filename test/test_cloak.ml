@@ -290,6 +290,90 @@ let test_import_rejects_stale_generation () =
     | _ -> false
     | exception Violation.Security_fault v -> v.Violation.kind = Violation.Metadata_forged)
 
+let audit_mentions vmm needle =
+  let contains line =
+    let n = String.length needle and len = String.length line in
+    let rec go i = i + n <= len && (String.sub line i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.exists contains (Inject.Audit.lines (Vmm.audit vmm))
+
+let test_import_rejects_torn_export () =
+  (* a torn write of the metadata blob to stable storage must read back as
+     a forgery, never as a shorter-but-valid object *)
+  let engine =
+    Inject.create
+      (Inject.plan
+         [ { Inject.site = Meta_export; trigger = Inject.once ~at:1; action = Torn_write 40 } ])
+  in
+  let vmm = Vmm.create ~engine () in
+  let pt = Page_table.create ~asid:1 in
+  Vmm.register_address_space vmm pt;
+  for vpn = 0 to 3 do
+    Page_table.map pt vpn (100 + vpn) ~writable:true ~user:true
+  done;
+  let shm = Vmm.fresh_shm vmm in
+  Vmm.cloak_range vmm ~asid:1 ~resource:shm ~start_vpn:0 ~pages:4 ~base_idx:0;
+  Vmm.write vmm ~ctx:app ~vaddr:0 (Bytes.of_string secret);
+  let torn = Vmm.export_metadata vmm shm ~pages:4 ~logical_size:32 in
+  Alcotest.(check bool) "export really tore" true (Bytes.length torn = 40);
+  Alcotest.(check bool) "torn blob rejected" true
+    (match Vmm.import_metadata vmm torn with
+    | _ -> false
+    | exception Violation.Security_fault v ->
+        v.Violation.kind = Violation.Metadata_forged)
+
+(* --- frame reclamation and quarantine --- *)
+
+let test_release_ppn_loses_plaintext () =
+  (* the OS reclaims a frame holding un-encrypted cloaked plaintext; the
+     owner's next access must report the loss, not silently read zeroes *)
+  let vmm, _ = cloaked_setup () in
+  Vmm.write vmm ~ctx:app ~vaddr:0 (Bytes.of_string secret);
+  Vmm.release_ppn vmm 100;
+  Alcotest.(check bool) "lost plaintext detected" true
+    (match Vmm.read vmm ~ctx:app ~vaddr:0 ~len:4 with
+    | _ -> false
+    | exception Violation.Security_fault v ->
+        v.Violation.kind = Violation.Lost_plaintext);
+  Alcotest.(check bool) "violation audited" true
+    (audit_mentions vmm "violation")
+
+let test_release_ppn_flushes_stale_translations () =
+  (* reclamation shoots down every TLB entry for the freed frame, so a
+     lost guest INVLPG can never serve a reused frame to the old owner *)
+  let vmm, pt = setup () in
+  Vmm.write vmm ~ctx:app ~vaddr:5 (Bytes.of_string "data");
+  Vmm.release_ppn vmm 100;
+  Page_table.unmap pt 0;
+  Alcotest.(check bool) "stale frame unreachable" true
+    (match Vmm.read vmm ~ctx:app ~vaddr:5 ~len:4 with
+    | _ -> false
+    | exception Fault.Guest_page_fault _ -> true)
+
+let test_quarantine_records_and_scrubs () =
+  let vmm, _ = cloaked_setup () in
+  Vmm.write vmm ~ctx:app ~vaddr:0 (Bytes.of_string secret);
+  let resource = Resource.Anon 1 in
+  Vmm.quarantine vmm resource Violation.Integrity;
+  Alcotest.(check bool) "quarantined" true (Vmm.is_quarantined vmm resource);
+  Alcotest.(check int) "counted once" 1 (Vmm.counters vmm).Counters.quarantines;
+  (* idempotent: condemning the same resource again is a no-op *)
+  Vmm.quarantine vmm resource Violation.Metadata_forged;
+  Alcotest.(check int) "still counted once" 1
+    (Vmm.counters vmm).Counters.quarantines;
+  Alcotest.(check bool) "audit has the event" true
+    (audit_mentions vmm "quarantine");
+  (* the condemned resource's plaintext is gone from machine memory *)
+  let raw = Vmm.phys_read vmm 100 ~off:0 ~len:(String.length secret) in
+  Alcotest.(check bool) "plaintext scrubbed" false
+    (Bytes.to_string raw = secret)
+
+let test_quarantine_untouched_resource_ok () =
+  let vmm, _ = cloaked_setup () in
+  Alcotest.(check bool) "fresh resource not quarantined" false
+    (Vmm.is_quarantined vmm (Resource.Anon 1))
+
 (* --- secure control transfer --- *)
 
 let test_transfer_roundtrip () =
@@ -502,7 +586,16 @@ let () =
           quick "bitflip rejected" test_import_rejects_bitflip;
           quick "truncation rejected" test_import_rejects_truncation;
           quick "stale generation rejected" test_import_rejects_stale_generation;
+          quick "torn export rejected" test_import_rejects_torn_export;
           QCheck_alcotest.to_alcotest prop_export_import_roundtrip;
+        ] );
+      ( "reclamation and quarantine",
+        [
+          quick "release_ppn loses plaintext" test_release_ppn_loses_plaintext;
+          quick "release_ppn flushes stale translations"
+            test_release_ppn_flushes_stale_translations;
+          quick "quarantine records and scrubs" test_quarantine_records_and_scrubs;
+          quick "untouched resource clean" test_quarantine_untouched_resource_ok;
         ] );
       ( "transfer",
         [

@@ -29,13 +29,13 @@ let prop_addr_roundtrip =
 (* --- Phys_mem --- *)
 
 let test_phys_alloc_zeroed () =
-  let mem = Phys_mem.create ~pages:4 in
+  let mem = Phys_mem.create ~pages:4 () in
   let mpn = Phys_mem.alloc mem in
   Alcotest.(check bool) "zero filled" true
     (Bytes.for_all (fun c -> c = '\000') (Phys_mem.page mem mpn))
 
 let test_phys_rw () =
-  let mem = Phys_mem.create ~pages:4 in
+  let mem = Phys_mem.create ~pages:4 () in
   let mpn = Phys_mem.alloc mem in
   Phys_mem.write mem mpn ~off:100 (Bytes.of_string "hello");
   Alcotest.(check string) "read back" "hello"
@@ -44,7 +44,7 @@ let test_phys_rw () =
   Alcotest.(check int) "byte" 0xAB (Phys_mem.get_byte mem mpn ~off:0)
 
 let test_phys_free_scrubs () =
-  let mem = Phys_mem.create ~pages:1 in
+  let mem = Phys_mem.create ~pages:1 () in
   let mpn = Phys_mem.alloc mem in
   Phys_mem.write mem mpn ~off:0 (Bytes.of_string "secret");
   Phys_mem.free mem mpn;
@@ -55,7 +55,7 @@ let test_phys_free_scrubs () =
     (Bytes.for_all (fun c -> c = '\000') (Phys_mem.page mem mpn2))
 
 let test_phys_oom () =
-  let mem = Phys_mem.create ~pages:2 in
+  let mem = Phys_mem.create ~pages:2 () in
   let _ = Phys_mem.alloc mem and _ = Phys_mem.alloc mem in
   Alcotest.check_raises "exhausted" Phys_mem.Out_of_memory (fun () ->
       ignore (Phys_mem.alloc mem))
@@ -63,14 +63,14 @@ let test_phys_oom () =
 let test_phys_fresh_first () =
   (* freed MPNs are not recycled while fresh ones remain: dangling homes in
      cloak metadata must point at unallocated pages *)
-  let mem = Phys_mem.create ~pages:3 in
+  let mem = Phys_mem.create ~pages:3 () in
   let a = Phys_mem.alloc mem in
   Phys_mem.free mem a;
   let b = Phys_mem.alloc mem in
   Alcotest.(check bool) "fresh page preferred" true (b <> a)
 
 let test_phys_copy_page () =
-  let mem = Phys_mem.create ~pages:2 in
+  let mem = Phys_mem.create ~pages:2 () in
   let a = Phys_mem.alloc mem and b = Phys_mem.alloc mem in
   Phys_mem.write mem a ~off:0 (Bytes.of_string "payload");
   Phys_mem.copy_page mem ~src:a ~dst:b;
@@ -78,7 +78,7 @@ let test_phys_copy_page () =
     (Bytes.to_string (Phys_mem.read mem b ~off:0 ~len:7))
 
 let test_phys_bounds () =
-  let mem = Phys_mem.create ~pages:1 in
+  let mem = Phys_mem.create ~pages:1 () in
   let mpn = Phys_mem.alloc mem in
   Alcotest.check_raises "read oob"
     (Invalid_argument "Phys_mem.read: out of page bounds") (fun () ->
@@ -209,7 +209,7 @@ let test_counters_rows () =
   c.Counters.page_encryptions <- 9;
   let rows = Counters.rows c in
   Alcotest.(check (option int)) "row value" (Some 9) (List.assoc_opt "page_encryptions" rows);
-  Alcotest.(check int) "all fields present" 18 (List.length rows)
+  Alcotest.(check int) "all fields present" 22 (List.length rows)
 
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
