@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test chaos-smoke ci clean
+.PHONY: all build test chaos-smoke recovery ci clean
 
 all: build
 
@@ -19,7 +19,13 @@ test: build
 chaos-smoke: build
 	$(DUNE) exec bin/overshadow_cli.exe -- chaos --seeds 10
 
-ci: test chaos-smoke
+# Power-cut the VMM at every journal/device write site across 20 seeds
+# and check the recovery invariants; emits the crash-point coverage,
+# replay-time and journal-overhead numbers as BENCH_recovery.json.
+recovery: build
+	$(DUNE) exec bin/overshadow_cli.exe -- crash-matrix --seeds 20 --bench-out BENCH_recovery.json
+
+ci: test chaos-smoke recovery
 
 clean:
 	$(DUNE) clean

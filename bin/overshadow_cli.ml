@@ -5,6 +5,8 @@
      overshadow-cli attack --all              run the whole catalog
      overshadow-cli counters --cloaked        run a workload, dump counters
      overshadow-cli chaos --seeds 25          seeded fault-injection sweep
+     overshadow-cli recover --site blk-write  one crash + recovery replay, narrated
+     overshadow-cli crash-matrix --seeds 20   every crash point x N seeds
      overshadow-cli list                      what's available
 
    The benchmark tables (E1-E8) live in `dune exec bench/main.exe`. *)
@@ -95,6 +97,106 @@ let run_chaos seeds base verbose =
       List.iter (fun (seed, what) -> Printf.printf "FAILED seed %d: %s\n" seed what) fails;
       1
 
+let run_recover seed site at =
+  match Inject.site_of_string site with
+  | None ->
+      Printf.eprintf "unknown site %s (try: %s)\n" site
+        (String.concat ", " (List.map Inject.site_to_string Harness.Crash.crash_sites));
+      1
+  | Some site ->
+      let point = { Harness.Crash.site; occurrence = at } in
+      let o = Harness.Crash.run_point ~seed point in
+      Format.printf "%a@." Harness.Crash.pp_outcome o;
+      List.iter (fun line -> Printf.printf "    %s\n" line) o.Harness.Crash.audit;
+      if o.Harness.Crash.failures = [] then 0 else 1
+
+let run_crash_matrix seeds base per_site verbose bench_out =
+  let progress o =
+    if verbose then Format.printf "%a@." Harness.Crash.pp_outcome o
+  in
+  let t0 = Sys.time () in
+  let v =
+    Harness.Crash.run_matrix ~progress ~per_site
+      ~seeds:(Harness.Crash.seeds_from ~base ~count:seeds)
+      ()
+  in
+  let wall_s = Sys.time () -. t0 in
+  Printf.printf
+    "\n%d seeds, %d crash points (each run twice): %d power cuts fired\n"
+    v.Harness.Crash.seeds v.Harness.Crash.points v.Harness.Crash.crashes;
+  Printf.printf "  per site: %s\n"
+    (String.concat ", "
+       (List.map
+          (fun (s, n) -> Printf.sprintf "%s=%d" (Inject.site_to_string s) n)
+          v.Harness.Crash.site_points));
+  Printf.printf
+    "  recovery: %d ledger-committed bindings -> %d committed, %d redone, %d torn, %d quarantined\n"
+    v.Harness.Crash.ledger_committed_total v.Harness.Crash.committed_total
+    v.Harness.Crash.redone_total v.Harness.Crash.torn_total
+    v.Harness.Crash.quarantined_total;
+  Printf.printf
+    "  journal (clean run avg): %d records, %d store writes, %d checkpoints over %d data writes\n"
+    v.Harness.Crash.records_per_run v.Harness.Crash.store_writes_per_run
+    v.Harness.Crash.checkpoints_per_run v.Harness.Crash.data_writes_per_run;
+  (match bench_out with
+  | None -> ()
+  | Some path ->
+      let overhead =
+        if v.Harness.Crash.data_writes_per_run = 0 then 0.0
+        else
+          float_of_int v.Harness.Crash.store_writes_per_run
+          /. float_of_int v.Harness.Crash.data_writes_per_run
+      in
+      let json =
+        Printf.sprintf
+          "{\n\
+          \  \"benchmark\": \"recovery\",\n\
+          \  \"seeds\": %d,\n\
+          \  \"crash_points\": %d,\n\
+          \  \"crashes_fired\": %d,\n\
+          \  \"sites\": {%s},\n\
+          \  \"ledger_committed\": %d,\n\
+          \  \"recovered_committed\": %d,\n\
+          \  \"recovered_redone\": %d,\n\
+          \  \"torn_quarantined\": %d,\n\
+          \  \"replay_total_s\": %.6f,\n\
+          \  \"replay_mean_ms\": %.3f,\n\
+          \  \"journal_records_per_run\": %d,\n\
+          \  \"journal_store_writes_per_run\": %d,\n\
+          \  \"journal_checkpoints_per_run\": %d,\n\
+          \  \"data_writes_per_run\": %d,\n\
+          \  \"journal_writes_per_data_write\": %.4f,\n\
+          \  \"wall_s\": %.3f,\n\
+          \  \"failures\": %d\n\
+           }\n"
+          v.Harness.Crash.seeds v.Harness.Crash.points v.Harness.Crash.crashes
+          (String.concat ", "
+             (List.map
+                (fun (s, n) -> Printf.sprintf "\"%s\": %d" (Inject.site_to_string s) n)
+                v.Harness.Crash.site_points))
+          v.Harness.Crash.ledger_committed_total v.Harness.Crash.committed_total
+          v.Harness.Crash.redone_total v.Harness.Crash.torn_total
+          v.Harness.Crash.replay_s_total
+          (if v.Harness.Crash.points = 0 then 0.0
+           else 1000.0 *. v.Harness.Crash.replay_s_total /. float_of_int (2 * v.Harness.Crash.points))
+          v.Harness.Crash.records_per_run v.Harness.Crash.store_writes_per_run
+          v.Harness.Crash.checkpoints_per_run v.Harness.Crash.data_writes_per_run
+          overhead wall_s
+          (List.length v.Harness.Crash.failures)
+      in
+      let oc = open_out path in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "  wrote %s\n" path);
+  match v.Harness.Crash.failures with
+  | [] ->
+      Printf.printf
+        "all invariants held: no committed-data loss, no torn-state acceptance, deterministic replay\n";
+      0
+  | fails ->
+      List.iter (fun (seed, what) -> Printf.printf "FAILED seed %d: %s\n" seed what) fails;
+      1
+
 let run_list () =
   Printf.printf "compute kernels:\n";
   List.iter (fun k -> Printf.printf "  %s\n" k.Workloads.Spec.name) Workloads.Spec.kernels;
@@ -149,6 +251,58 @@ let chaos_cmd =
           invariants (containment, privacy, deterministic replay).")
     Term.(const run_chaos $ seeds_arg $ base_arg $ verbose_arg)
 
+let recover_cmd =
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+  in
+  let site_arg =
+    Arg.(
+      value
+      & opt string "blk-write"
+      & info [ "site" ] ~docv:"SITE"
+          ~doc:"Crash site (jrnl-append, jrnl-ckpt, blk-write, blk-free).")
+  in
+  let at_arg =
+    Arg.(value & opt int 1 & info [ "at" ] ~docv:"N" ~doc:"Site occurrence the power cut fires on.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Kill the VMM at one crash point, replay the metadata journal on a fresh \
+          same-seed VMM, and print the classification and audit trail.")
+    Term.(const run_recover $ seed_arg $ site_arg $ at_arg)
+
+let crash_matrix_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N" ~doc:"Number of workload seeds.")
+  in
+  let base_arg =
+    Arg.(value & opt int 1 & info [ "base" ] ~docv:"SEED" ~doc:"First seed of the sweep.")
+  in
+  let per_site_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "per-site" ] ~docv:"N" ~doc:"Crash occurrences sampled per site per seed.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print every crash point's outcome.")
+  in
+  let bench_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE" ~doc:"Write a JSON benchmark summary to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "crash-matrix"
+       ~doc:
+         "Power-cut the VMM at every journal/device write site across N seeds and \
+          check the recovery invariants (no committed-data loss, no torn-state \
+          acceptance, deterministic replay).")
+    Term.(
+      const run_crash_matrix $ seeds_arg $ base_arg $ per_site_arg $ verbose_arg
+      $ bench_out_arg)
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available kernels and attacks.") Term.(const run_list $ const ())
 
@@ -157,4 +311,7 @@ let () =
     Cmd.info "overshadow-cli" ~version:"1.0"
       ~doc:"Overshadow (ASPLOS 2008) reproduction: cloaked execution on a simulated VMM."
   in
-  exit (Cmd.eval' (Cmd.group info [ kernel_cmd; attack_cmd; counters_cmd; chaos_cmd; list_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ kernel_cmd; attack_cmd; counters_cmd; chaos_cmd; recover_cmd; crash_matrix_cmd; list_cmd ]))

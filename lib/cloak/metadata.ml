@@ -47,6 +47,9 @@ let fold_resource t resource f init =
     (fun key e acc -> if Resource.equal key.resource resource then f key.idx e acc else acc)
     t init
 
+let fold_all (t : t) f init =
+  Hashtbl.fold (fun key e acc -> f key.resource key.idx e acc) t init
+
 let count = Hashtbl.length
 
 let mac_input ~resource ~idx ~version ~iv ~cipher =

@@ -15,4 +15,8 @@ val hash : t -> int
 val tag : t -> string
 (** Stable serialization mixed into the page MAC. *)
 
+val of_tag : string -> t option
+(** Parse a {!tag} back; [None] on malformed input (journal records from a
+    corrupted log go through here, so this must never raise). *)
+
 val pp : Format.formatter -> t -> unit

@@ -5,6 +5,7 @@ type kind =
   | Bad_resume
   | Metadata_forged
   | Iv_reuse
+  | Torn_state
 
 type t = { kind : kind; detail : string; resource : Resource.t option }
 
@@ -17,6 +18,7 @@ let kind_to_string = function
   | Bad_resume -> "bad-resume"
   | Metadata_forged -> "metadata-forged"
   | Iv_reuse -> "iv-reuse"
+  | Torn_state -> "torn-state"
 
 let fail ?resource kind fmt =
   Format.kasprintf

@@ -19,6 +19,10 @@ type kind =
   | Iv_reuse    (** the entropy source repeated an IV for a fresh
                     encryption — re-encrypting under it would leak the XOR
                     of two plaintexts, so the page transition is refused *)
+  | Torn_state  (** crash recovery found a page whose journal intent has no
+                    commit and whose on-disk bytes fail verification — the
+                    write was torn by the crash; the page is quarantined,
+                    never silently served *)
 
 type t = {
   kind : kind;

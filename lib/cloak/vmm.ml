@@ -50,6 +50,7 @@ type t = {
   generations : (int, int) Hashtbl.t;              (* shm id -> freshness *)
   mutable next_shm : int;
   mutable current : Context.t option;
+  mutable journal : Journal.t option;  (* crash-consistent metadata WAL *)
   engine : Inject.t option;            (* hostile-world fault injection *)
   audit : Inject.Audit.t;              (* per-VMM event/violation trail *)
   quarantined : (Resource.t, Violation.kind) Hashtbl.t;
@@ -77,6 +78,7 @@ let create ?(config = default_config) ?engine () =
     generations = Hashtbl.create 16;
     next_shm = 1;
     current = None;
+    journal = None;
     engine;
     audit =
       (match engine with
@@ -91,6 +93,86 @@ let counters t = t.counters
 let mem t = t.mem
 let engine t = t.engine
 let audit t = t.audit
+
+(* --- crash-consistent metadata journal --- *)
+
+let journal t = t.journal
+
+(* The journal key is derived from (not equal to) the metadata MAC key, so
+   journal frames and metadata blobs live in separate MAC domains while
+   still being reproducible from the VMM seed after a restart. *)
+let journal_key t = Oscrypto.Hmac.mac ~key:t.mac_key (Bytes.of_string "journal-key")
+
+let attach_journal ?ckpt_every t ~store =
+  let j = Journal.attach ?engine:t.engine ?ckpt_every ~key:(journal_key t) store in
+  t.journal <- Some j;
+  j
+
+(* Journal a fresh encryption of a persistent (shm) page. This runs before
+   the new ciphertext can reach any device, so recovery always holds the
+   metadata needed to verify whatever the guest later made durable. Anon
+   resources die with the VMM and are never journaled. *)
+let journal_update t resource idx (e : Metadata.entry) =
+  match (t.journal, resource) with
+  | Some j, Resource.Shm _ ->
+      Journal.record j
+        (Update
+           {
+             tag = Resource.tag resource;
+             idx;
+             version = e.version;
+             iv = Bytes.copy e.iv;
+             mac = Bytes.copy e.mac;
+           })
+  | _ -> ()
+
+let journal_bind t phase ~resource ~idx ~dev ~block =
+  match (t.journal, resource) with
+  | Some j, Resource.Shm _ ->
+      let tag = Resource.tag resource in
+      if Journal.knows j ~tag ~idx then
+        Journal.record j
+          (match phase with
+          | `Intent -> Journal.Intent { tag; idx; dev; block }
+          | `Commit -> Journal.Commit { tag; idx; dev; block })
+  | _ -> ()
+
+let journal_dma t phase ppn ~dev ~block =
+  match Hashtbl.find_opt t.bound ppn with
+  | Some (resource, idx) -> journal_bind t phase ~resource ~idx ~dev ~block
+  | None -> ()
+
+let journal_file_intent t ~resource ~idx ~dev ~block =
+  journal_bind t `Intent ~resource ~idx ~dev ~block
+
+let journal_file_commit t ~resource ~idx ~dev ~block =
+  journal_bind t `Commit ~resource ~idx ~dev ~block
+
+let journal_block_freed t ~dev ~block =
+  match t.journal with
+  | Some j when Journal.references_block j ~dev ~block ->
+      Journal.record j (Freed { dev; block })
+  | Some _ | None -> ()
+
+let journal_drop_page t resource idx =
+  match (t.journal, resource) with
+  | Some j, Resource.Shm _ ->
+      let tag = Resource.tag resource in
+      if Journal.knows j ~tag ~idx then
+        Journal.record j (Dropped_page { tag; idx })
+  | _ -> ()
+
+let journal_drop_resource t resource =
+  match (t.journal, resource) with
+  | Some j, Resource.Shm _ ->
+      let tag = Resource.tag resource in
+      let tracked =
+        Hashtbl.fold
+          (fun (tg, _) _ acc -> acc || tg = tag)
+          (Journal.state j).Journal.pages false
+      in
+      if tracked then Journal.record j (Dropped_resource { tag })
+  | _ -> ()
 
 (* Detection: record the violation in the audit trail and counters, then
    raise. Every integrity check in the cloaking engine funnels through
@@ -320,6 +402,7 @@ let encrypt_page ?(reuse = false) t resource idx (e : Metadata.entry) mpn =
       Oscrypto.Hmac.mac ~key:t.mac_key
         (Metadata.mac_input ~resource ~idx ~version ~iv ~cipher);
     e.state <- Encrypted;
+    journal_update t resource idx e;
     t.counters.page_encryptions <- t.counters.page_encryptions + 1;
     t.counters.hash_computes <- t.counters.hash_computes + 1;
     Cost.charge_crypto_page t.cost ~bytes_count:Addr.page_size ~hash:true
@@ -548,6 +631,7 @@ let switch_to t ctx =
 (* --- resource lifecycle --- *)
 
 let uncloak_resource t resource =
+  journal_drop_resource t resource;
   Metadata.iter_resource t.meta resource (fun _idx e ->
       match e.state with
       | Plain { home; _ } when Phys_mem.allocated t.mem home ->
@@ -582,6 +666,7 @@ let is_quarantined t resource = Hashtbl.mem t.quarantined resource
 
 let drop_cloaked_pages t resource ~base_idx ~pages =
   for idx = base_idx to base_idx + pages - 1 do
+    journal_drop_page t resource idx;
     (match Metadata.find t.meta resource idx with
     | Some { state = Plain { home; _ }; _ } when Phys_mem.allocated t.mem home ->
         Bytes.fill (page_bytes t home) 0 Addr.page_size '\000'
@@ -652,6 +737,10 @@ let export_metadata t resource ~pages ~logical_size =
   in
   let generation = (Option.value ~default:0 (Hashtbl.find_opt t.generations id)) + 1 in
   Hashtbl.replace t.generations id generation;
+  (match t.journal with
+  | Some j ->
+      Journal.record j (Generation { id; gen = generation; size = logical_size; pages })
+  | None -> ());
   let buf = Buffer.create (64 + (pages * 57)) in
   Buffer.add_string buf
     (Printf.sprintf "%s|%s|%d|%d|%d\n" blob_magic (Resource.tag resource) generation
@@ -721,6 +810,16 @@ let import_metadata t blob =
   | Some _ | None -> Hashtbl.replace t.generations id generation);
   let resource = Resource.Shm id in
   if id >= t.next_shm then t.next_shm <- id + 1;
+  (match t.journal with
+  | Some j ->
+      let same =
+        match Hashtbl.find_opt (Journal.state j).Journal.gens id with
+        | Some (g, s, p) -> g = generation && s = logical_size && p = pages
+        | None -> false
+      in
+      if not same then
+        Journal.record j (Generation { id; gen = generation; size = logical_size; pages })
+  | None -> ());
   Metadata.drop_resource t.meta resource;
   let pos = ref (header_end + 1) in
   for idx = 0 to pages - 1 do
@@ -731,14 +830,59 @@ let import_metadata t blob =
     pos := !pos + 65;
     let e = Metadata.find_or_add t.meta resource idx in
     match flag with
-    | 'Z' -> e.state <- Zero
+    | 'Z' ->
+        e.state <- Zero;
+        journal_drop_page t resource idx
     | 'E' ->
         e.state <- Encrypted;
         e.version <- version;
         e.iv <- iv;
-        e.mac <- mac
+        e.mac <- mac;
+        (* re-journal only if the journal's view differs — an unchanged page
+           keeps its recorded durable bind (the content file still holds its
+           authoritative ciphertext) *)
+        let changed =
+          match t.journal with
+          | None -> false
+          | Some j -> (
+              match
+                Hashtbl.find_opt (Journal.state j).Journal.pages
+                  (Resource.tag resource, idx)
+              with
+              | Some p ->
+                  not
+                    (p.Journal.version = e.version
+                    && Bytes.equal p.Journal.iv e.iv
+                    && Bytes.equal p.Journal.mac e.mac)
+              | None -> true)
+        in
+        if changed then journal_update t resource idx e
     | _ ->
         violate t ~resource Metadata_forged
           "metadata blob has corrupt page record"
   done;
   { resource; logical_size; pages }
+
+(* --- recovery support ---
+
+   After a simulated power cut the crash harness rebuilds a VMM from the
+   same seed (so page_key/mac_key re-derive identically) and lets
+   [Recovery.replay] reinstall what the journal proves survived. *)
+
+let verify_cipher t ~resource ~idx ~version ~iv ~mac ~cipher =
+  Oscrypto.Hmac.verify ~key:t.mac_key ~tag:mac
+    (Metadata.mac_input ~resource ~idx ~version ~iv ~cipher)
+
+let restore_entry t ~resource ~idx ~version ~iv ~mac =
+  let e = Metadata.find_or_add t.meta resource idx in
+  e.state <- Encrypted;
+  e.version <- version;
+  e.iv <- Bytes.copy iv;
+  e.mac <- Bytes.copy mac;
+  (match resource with
+  | Resource.Shm id -> if id >= t.next_shm then t.next_shm <- id + 1
+  | Anon _ -> ())
+
+let restore_generation t ~id ~gen =
+  Hashtbl.replace t.generations id gen;
+  if id >= t.next_shm then t.next_shm <- id + 1

@@ -159,6 +159,59 @@ val import_metadata : t -> bytes -> imported
     {!Violation.Security_fault} with [Metadata_forged] on tampering or on
     replay of a stale generation. *)
 
+(** {1 Crash-consistent metadata journal}
+
+    When a journal is attached, every metadata mutation of a persistent
+    (shm) resource is appended to the write-ahead log {e before} the
+    corresponding ciphertext write is acknowledged, and the guest's
+    block-device layers report durable-write intents and commits so that
+    {!Recovery.replay} can rebuild the metadata table after a simulated
+    power cut. Anon resources die with the VMM and are never journaled. *)
+
+val attach_journal : ?ckpt_every:int -> t -> store:Journal.store -> Journal.t
+(** Open (or recover and re-checkpoint) the journal on the given store and
+    wire it into the cloaking engine. The journal key is derived from the
+    VMM's MAC key, so a VMM recreated from the same seed can read it. *)
+
+val journal : t -> Journal.t option
+
+val journal_dma : t -> [ `Intent | `Commit ] -> Addr.ppn -> dev:string -> block:int -> unit
+(** Block-device DMA hook: if [ppn] is bound to a journaled cloaked page,
+    record the write intent (before the device write) or commit (after).
+    A no-op for unjournaled, anon, or unbound pages. *)
+
+val journal_file_intent : t -> resource:Resource.t -> idx:int -> dev:string -> block:int -> unit
+val journal_file_commit : t -> resource:Resource.t -> idx:int -> dev:string -> block:int -> unit
+(** File-system writeback hooks: same intent/commit protocol when the page
+    reaches the device through the page cache rather than direct DMA. *)
+
+val journal_block_freed : t -> dev:string -> block:int -> unit
+(** The guest released a device block. Journaled {e before} the block is
+    scrubbed so recovery never chases a bind into zeroed bytes. Records
+    only blocks the journal actually references. *)
+
+(** {1 Recovery support}
+
+    Used by [Recovery.replay] against a fresh VMM created from the same
+    seed as the crashed one (the page/MAC keys re-derive identically). *)
+
+val journal_key : t -> bytes
+(** The journal MAC key, derived from the VMM's metadata key — available
+    only inside the TCB, which recovery is part of. *)
+
+val verify_cipher :
+  t -> resource:Resource.t -> idx:int -> version:int -> iv:bytes -> mac:bytes ->
+  cipher:bytes -> bool
+(** Whether [cipher] authenticates as the given version of the page under
+    this VMM's MAC key — the committed/torn test at recovery time. *)
+
+val restore_entry :
+  t -> resource:Resource.t -> idx:int -> version:int -> iv:bytes -> mac:bytes -> unit
+(** Reinstall a verified page record in the Encrypted state. *)
+
+val restore_generation : t -> id:int -> gen:int -> unit
+(** Reinstall a shm object's freshness generation. *)
+
 (** {1 Charging helpers for upper layers} *)
 
 val charge : t -> int -> unit

@@ -49,6 +49,10 @@ type call =
   | Kill of { pid : int; signum : int }
   | Signal of { signum : int; disposition : disposition }
   | Sync
+  | Bind_object of { fd : int; resource : Cloak.Resource.t }
+      (** shim hypercall: the open file [fd] is the content image of
+          protected object [resource]; the kernel routes its writeback
+          through the metadata journal's intent/commit protocol *)
   | Fault of Machine.Fault.page_fault
       (** not a real syscall: how the user-level access loop reports a page
           fault to the kernel for resolution *)

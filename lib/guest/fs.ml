@@ -18,6 +18,9 @@ type t = {
   inodes : (int, inode) Hashtbl.t;
   mutable next_inode : int;
   cache : (int * int, cache_entry) Hashtbl.t;
+  bound : (int, Cloak.Resource.t) Hashtbl.t;
+      (* inode -> protected object whose content image this file is; its
+         writeback goes through the journal's intent/commit protocol *)
 }
 
 let root_id = 0
@@ -41,12 +44,15 @@ let create ~vmm ~dev ~alloc_ppn ~free_ppn =
       inodes = Hashtbl.create 64;
       next_inode = root_id;
       cache = Hashtbl.create 64;
+      bound = Hashtbl.create 8;
     }
   in
   ignore (make_inode t `Dir);
   t
 
 let inode t id = Hashtbl.find t.inodes id
+
+let bind_resource t ~inode resource = Hashtbl.replace t.bound inode resource
 
 (* --- path resolution --- *)
 
@@ -163,6 +169,7 @@ let unlink t path =
               free_file_storage t ino;
               Hashtbl.remove dir.entries leaf;
               Hashtbl.remove t.inodes id;
+              Hashtbl.remove t.bound id;
               Ok ()))
 
 let rename t ~src ~dst =
@@ -181,6 +188,7 @@ let rename t ~src ~dst =
               | `File ->
                   free_file_storage t existing;
                   Hashtbl.remove t.inodes existing_id;
+                  Hashtbl.remove t.bound existing_id;
                   Hashtbl.replace dst_dir.entries dst_leaf id;
                   Hashtbl.remove src_dir.entries src_leaf;
                   Ok ())
@@ -335,8 +343,20 @@ let writeback_entry t (id, idx) entry =
           Hashtbl.add ino.blocks idx block;
           block
     in
-    with_disk_retry t (fun () -> Blockdev.write_block t.dev block ~ppn:entry.ppn);
-    entry.dirty <- false
+    match Hashtbl.find_opt t.bound id with
+    | Some resource ->
+        (* the content image of a protected object: file page idx = object
+           page idx (the image starts at offset 0), and the write travels
+           under the journal's intent/commit protocol so a crash mid-DMA is
+           detected as torn instead of silently served *)
+        let dev = Blockdev.name t.dev in
+        Cloak.Vmm.journal_file_intent t.vmm ~resource ~idx ~dev ~block;
+        with_disk_retry t (fun () -> Blockdev.write_block t.dev block ~ppn:entry.ppn);
+        Cloak.Vmm.journal_file_commit t.vmm ~resource ~idx ~dev ~block;
+        entry.dirty <- false
+    | None ->
+        with_disk_retry t (fun () -> Blockdev.write_block t.dev block ~ppn:entry.ppn);
+        entry.dirty <- false
   end
 
 let sync t = Hashtbl.iter (writeback_entry t) t.cache

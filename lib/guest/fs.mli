@@ -54,6 +54,13 @@ val write_host : t -> inode:int -> pos:int -> bytes -> (int, Errno.t) result
 
 val truncate : t -> inode:int -> (unit, Errno.t) result
 
+val bind_resource : t -> inode:int -> Cloak.Resource.t -> unit
+(** Declare the file to be the content image of a protected object (file
+    page [i] holds page [i] of the resource). Its writeback then runs
+    under the metadata journal's intent/commit protocol, so crash recovery
+    can tell committed ciphertext from torn in-flight writes. The binding
+    is dropped when the inode is unlinked or renamed over. *)
+
 (** {1 Writeback} *)
 
 val sync : t -> unit

@@ -6,6 +6,12 @@ type config = {
   pipe_capacity : int;
   fs_blocks : int;
   swap_blocks : int;
+  journal_blocks : int;
+      (* blocks reserved at the head of the disk for the VMM's metadata
+         journal; 0 disables journaling *)
+  journal_ckpt_every : int;
+      (* checkpoint cadence in journal records; harnesses lower it to put
+         mid-run checkpoints inside the crash-point matrix *)
 }
 
 let default_config =
@@ -15,6 +21,8 @@ let default_config =
     pipe_capacity = 65536;
     fs_blocks = 4096;
     swap_blocks = 4096;
+    journal_blocks = 0;
+    journal_ckpt_every = 64;
   }
 
 exception Deadlock of string
@@ -189,8 +197,10 @@ let create ?(config = default_config) vmm =
       free_ppns = [];
       resident = Queue.create ();
       fs = Obj.magic 0;  (* replaced below; Fs needs the allocator closures *)
-      disk = Blockdev.create ~vmm ~blocks:config.fs_blocks;
-      swap = Blockdev.create ~vmm ~blocks:config.swap_blocks;
+      disk =
+        Blockdev.create ~name:"disk" ~reserve:config.journal_blocks ~vmm
+          ~blocks:config.fs_blocks ();
+      swap = Blockdev.create ~name:"swap" ~vmm ~blocks:config.swap_blocks ();
       pipes = Hashtbl.create 16;
       next_pipe = 1;
       violations = [];
@@ -201,6 +211,19 @@ let create ?(config = default_config) vmm =
     Fs.create ~vmm ~dev:t.disk
       ~alloc_ppn:(fun () -> alloc_ppn t)
       ~free_ppn:(fun ppn -> release_guest_page t ppn);
+  if config.journal_blocks > 0 then begin
+    (* the journal lives in the reserved head of the disk, reached through
+       the raw (host-side) path with the same bounded retry as swap I/O *)
+    let store =
+      {
+        Cloak.Journal.blocks = config.journal_blocks;
+        block_size = Addr.page_size;
+        read = (fun b -> Blockdev.peek t.disk b);
+        write = (fun b data -> swap_retry t (fun () -> Blockdev.write_raw t.disk b data));
+      }
+    in
+    ignore (Cloak.Vmm.attach_journal ~ckpt_every:config.journal_ckpt_every vmm ~store)
+  end;
   t
 
 (* --- process table --- *)
@@ -854,6 +877,13 @@ let exec_call t proc (call : Abi.call) : outcome =
   | Sync ->
       Fs.sync t.fs;
       Done Abi.Unit
+  | Bind_object { fd; resource } -> (
+      match Hashtbl.find_opt proc.fds fd with
+      | Some { obj = File f; _ } ->
+          Fs.bind_resource t.fs ~inode:f.inode resource;
+          Done Abi.Unit
+      | Some _ -> err Errno.EINVAL
+      | None -> err Errno.EBADF)
   | Fault pf -> (
       Cloak.Vmm.guest_fault_charge t.vmm;
       match resolve_fault t proc pf with

@@ -16,6 +16,13 @@ type config = {
   pipe_capacity : int;
   fs_blocks : int;
   swap_blocks : int;
+  journal_blocks : int;
+      (** blocks reserved at the head of the disk for the VMM's metadata
+          journal (at least {!Cloak.Journal.min_blocks} to enable it);
+          0 — the default — disables journaling entirely *)
+  journal_ckpt_every : int;
+      (** journal checkpoint cadence in records (default 64); the crash
+          harness lowers it so checkpoints land inside its crash matrix *)
 }
 
 val default_config : config

@@ -1,0 +1,108 @@
+(** Crash-point matrix: systematic power cuts at every durable-write site.
+
+    For each seed, a calibration run (no faults) counts how often each
+    crash site fires; the matrix then re-runs the workload once per
+    sampled (site, occurrence) pair with a single {!Inject.Crash_point}
+    rule, catches the {!Inject.Vmm_crash} power cut, and drives
+    {!Cloak.Recovery.replay} against the surviving block devices with a
+    fresh same-seed VMM. Three invariants must hold at every crash point:
+
+    - {b no committed-data loss}: every page binding the journal reported
+      durably committed (observed through the ledger oracle installed with
+      {!Cloak.Journal.set_observer}) is recovered intact, or its resource
+      is loudly quarantined — never silently missing;
+    - {b no torn-state acceptance}: every page recovery installs is
+      independently re-authenticated against the journaled metadata and
+      the on-device bytes, and every torn resource is condemned in the
+      recovered VMM;
+    - {b deterministic replay}: the crash run and the recovery replay
+      produce bit-identical audit trails when repeated from the same
+      seed. *)
+
+val crash_sites : Inject.site list
+(** The durable-write sites the matrix covers: journal appends, journal
+    checkpoints, device-block writes, device-block frees. *)
+
+val kconfig : Guest.Kernel.config
+(** Tight guest memory, a 16-block journal and a short checkpoint cadence,
+    so swap traffic and mid-run checkpoints land inside the matrix. *)
+
+val protagonist : Guest.Abi.program
+(** Cloaked workload: two protected objects saved and synced, one
+    re-opened and re-saved (freeing journal-referenced blocks), plus
+    cloaked anonymous memory that joins the swap churn. *)
+
+val antagonist : Guest.Abi.program
+(** Uncloaked memory/disk pressure that pushes shm pages through swap. *)
+
+type point = { site : Inject.site; occurrence : int }
+
+val point_to_string : point -> string
+
+(** {1 Calibration} *)
+
+type journal_stats = {
+  records : int;            (** journal records appended in a clean run *)
+  store_writes : int;       (** journal store block writes (overhead) *)
+  checkpoints : int;
+  data_writes : int;        (** non-journal device block writes *)
+  occurrences : (Inject.site * int) list;
+      (** how often each crash site fired in the clean run *)
+}
+
+val calibrate : seed:int -> journal_stats
+(** One fault-free run: the occurrence counts bound the crash matrix and
+    the journal counters feed the overhead benchmark. *)
+
+val points_of_stats : ?per_site:int -> journal_stats -> point list
+(** Up to [per_site] (default 6) evenly spaced occurrences per site. *)
+
+(** {1 One crash point} *)
+
+type outcome = {
+  point : point;
+  seed : int;
+  crashed : bool;           (** the power cut actually fired *)
+  ledger_committed : int;   (** durable bindings at the moment of the cut *)
+  committed : int;          (** recovery classification counts *)
+  redone : int;
+  torn : int;
+  quarantined : int;
+  replay_s : float;         (** wall-clock spent in {!Cloak.Recovery.replay} *)
+  failures : string list;   (** broken invariants; empty on success *)
+  audit : string list;      (** crash-run trail followed by recovery trail *)
+}
+
+val run_point : seed:int -> point -> outcome
+(** Run the workload until the crash point fires, recover on a fresh
+    same-seed VMM from the surviving devices, and check invariants 1-2. *)
+
+(** {1 The matrix} *)
+
+type verdict = {
+  seeds : int;
+  points : int;             (** crash points exercised (each run twice) *)
+  crashes : int;            (** points where the cut actually fired *)
+  ledger_committed_total : int;
+  committed_total : int;
+  redone_total : int;
+  torn_total : int;
+  quarantined_total : int;
+  replay_s_total : float;
+  records_per_run : int;    (** per-seed averages from calibration *)
+  store_writes_per_run : int;
+  checkpoints_per_run : int;
+  data_writes_per_run : int;
+  site_points : (Inject.site * int) list;
+  failures : (int * string) list;
+      (** (seed, broken invariant) — empty when every crash point passed *)
+}
+
+val run_matrix :
+  ?progress:(outcome -> unit) -> ?per_site:int -> seeds:int list -> unit -> verdict
+(** The full sweep: calibrate each seed, run every sampled crash point
+    twice (the second run checks audit determinism), aggregate. *)
+
+val seeds_from : base:int -> count:int -> int list
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,4 +1,5 @@
 module Chaos = Chaos
+module Crash = Crash
 
 open Machine
 open Guest

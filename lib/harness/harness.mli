@@ -6,6 +6,10 @@ module Chaos = Chaos
 (** Re-export: the seeded chaos harness (randomized fault plans over a
     mixed cloaked/uncloaked workload; see {!Chaos.run_seeds}). *)
 
+module Crash = Crash
+(** Re-export: the crash-point matrix (power cuts at every durable-write
+    site, followed by recovery replay; see {!Crash.run_matrix}). *)
+
 type result = {
   cycles : int;                 (** model cycles consumed by the scenario *)
   counters : Machine.Counters.t;(** event deltas over the scenario *)

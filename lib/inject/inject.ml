@@ -7,16 +7,20 @@ type site =
   | Blk_alloc
   | Blk_read
   | Blk_write
+  | Blk_free
   | Tlb_insert
   | Tlb_flush
   | Crypto_iv
   | Meta_export
   | Meta_import
+  | Jrnl_append
+  | Jrnl_ckpt
 
 let all_sites =
   [
-    Phys_alloc; Phys_write; Phys_free; Blk_alloc; Blk_read; Blk_write;
-    Tlb_insert; Tlb_flush; Crypto_iv; Meta_export; Meta_import;
+    Phys_alloc; Phys_write; Phys_free; Blk_alloc; Blk_read; Blk_write; Blk_free;
+    Tlb_insert; Tlb_flush; Crypto_iv; Meta_export; Meta_import; Jrnl_append;
+    Jrnl_ckpt;
   ]
 
 let site_to_string = function
@@ -26,11 +30,17 @@ let site_to_string = function
   | Blk_alloc -> "blk-alloc"
   | Blk_read -> "blk-read"
   | Blk_write -> "blk-write"
+  | Blk_free -> "blk-free"
   | Tlb_insert -> "tlb-insert"
   | Tlb_flush -> "tlb-flush"
   | Crypto_iv -> "crypto-iv"
   | Meta_export -> "meta-export"
   | Meta_import -> "meta-import"
+  | Jrnl_append -> "jrnl-append"
+  | Jrnl_ckpt -> "jrnl-ckpt"
+
+let site_of_string s =
+  List.find_opt (fun site -> site_to_string site = s) all_sites
 
 type action =
   | Bit_flip of int
@@ -43,6 +53,7 @@ type action =
   | Exhaust
   | Stale_entry
   | Drop_insert
+  | Crash_point
 
 let action_to_string = function
   | Bit_flip off -> Printf.sprintf "bit-flip@%d" off
@@ -55,6 +66,11 @@ let action_to_string = function
   | Exhaust -> "exhaust"
   | Stale_entry -> "stale-entry"
   | Drop_insert -> "drop-insert"
+  | Crash_point -> "crash-point"
+
+exception Vmm_crash of string
+
+let crashed site = raise (Vmm_crash (site_to_string site))
 
 type trigger = { start : int; every : int; count : int }
 
@@ -155,6 +171,7 @@ let menu =
         (fun r -> Torn_write (1 + Oscrypto.Prng.int r 4095));
         (fun r -> Bit_flip (Oscrypto.Prng.int r 4096));
         (fun _ -> Reorder) ] );
+    (Blk_free, [ (fun _ -> Fail_scrub) ]);
     (Tlb_insert, [ (fun _ -> Drop_insert) ]);
     (Tlb_flush, [ (fun _ -> Stale_entry) ]);
     (Crypto_iv, [ (fun _ -> Reuse_iv) ]);

@@ -26,14 +26,20 @@ type site =
   | Blk_alloc    (** block allocation on a device *)
   | Blk_read     (** device-to-memory DMA *)
   | Blk_write    (** memory-to-device DMA *)
+  | Blk_free     (** block release back to the device free list *)
   | Tlb_insert   (** TLB entry installation *)
   | Tlb_flush    (** guest-initiated INVLPG processing *)
   | Crypto_iv    (** fresh-IV draws in the cloaking engine *)
   | Meta_export  (** protected-object metadata serialization *)
   | Meta_import  (** protected-object metadata verification *)
+  | Jrnl_append  (** metadata-journal record append *)
+  | Jrnl_ckpt    (** metadata-journal checkpoint write *)
 
 val all_sites : site list
 val site_to_string : site -> string
+
+val site_of_string : string -> site option
+(** Inverse of {!site_to_string}; used by the CLI's crash-matrix filters. *)
 
 (** What the hostile world does when a rule fires. Layers interpret only
     the actions that make sense for them and ignore the rest. *)
@@ -48,8 +54,21 @@ type action =
   | Exhaust             (** allocation fails as if the pool were empty *)
   | Stale_entry         (** skip the invalidation, leaving a stale entry *)
   | Drop_insert         (** lose the TLB insert *)
+  | Crash_point         (** kill the whole VMM at this site — power cut *)
 
 val action_to_string : action -> string
+
+exception Vmm_crash of string
+(** The simulated power cut, carrying the site name it fired at. Raised by
+    a layer that draws {!Crash_point}; deliberately NOT caught by the guest
+    kernel's containment layers — it unwinds the entire simulated machine,
+    exactly like pulling the plug. The crash harness catches it around
+    [Kernel.run] and then exercises recovery replay against the surviving
+    block-device contents. *)
+
+val crashed : site -> 'a
+(** Raise {!Vmm_crash} for [site]; layers call this on {!Crash_point},
+    usually after leaving a deliberately torn partial write behind. *)
 
 type trigger = { start : int; every : int; count : int }
 (** Fires on site-occurrence numbers [start, start+every, ...] (1-based),

@@ -97,8 +97,11 @@ let save shim f =
      exact ciphertext the metadata authenticates *)
   Cloak.Vmm.hypercall vmm;
   let blob = Cloak.Vmm.export_metadata vmm f.resource ~pages:f.pages ~logical_size:f.size in
-  (* 2. stream the (ciphertext) region into the content file *)
+  (* 2. stream the (ciphertext) region into the content file; declaring the
+     binding first routes the file's writeback through the metadata
+     journal's intent/commit protocol *)
   let fd = open_guest_file shim f.path [ Abi.O_CREAT; Abi.O_RDWR; Abi.O_TRUNC ] in
+  ignore (Shim.direct_dispatch shim (Abi.Bind_object { fd; resource = f.resource }));
   direct_write_all shim ~fd ~vaddr:(base_vaddr f) ~len:(f.pages * Addr.page_size);
   close_guest_fd shim fd;
   (* 3. store the metadata blob (OS-visible but unforgeable) via the

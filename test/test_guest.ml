@@ -8,7 +8,7 @@ open Guest
    allocator (no kernel, no processes). *)
 let storage ?(blocks = 64) () =
   let vmm = Cloak.Vmm.create () in
-  let dev = Blockdev.create ~vmm ~blocks in
+  let dev = Blockdev.create ~vmm ~blocks () in
   let next = ref 0 in
   let alloc_ppn () =
     let p = !next in
@@ -155,7 +155,7 @@ let test_fs_readdir () =
 
 let test_blockdev_alloc_exhaustion () =
   let vmm = Cloak.Vmm.create () in
-  let dev = Blockdev.create ~vmm ~blocks:2 in
+  let dev = Blockdev.create ~vmm ~blocks:2 () in
   let a = Blockdev.alloc_block dev in
   let _b = Blockdev.alloc_block dev in
   Alcotest.check_raises "full" (Errno.Error Errno.ENOSPC) (fun () ->
@@ -166,7 +166,7 @@ let test_blockdev_alloc_exhaustion () =
 
 let test_blockdev_free_scrubs () =
   let vmm = Cloak.Vmm.create () in
-  let dev = Blockdev.create ~vmm ~blocks:2 in
+  let dev = Blockdev.create ~vmm ~blocks:2 () in
   let b = Blockdev.alloc_block dev in
   Blockdev.poke dev b (Bytes.make Addr.page_size 'S');
   Blockdev.free_block dev b;
@@ -175,7 +175,7 @@ let test_blockdev_free_scrubs () =
 
 let test_blockdev_dma_roundtrip () =
   let vmm = Cloak.Vmm.create () in
-  let dev = Blockdev.create ~vmm ~blocks:4 in
+  let dev = Blockdev.create ~vmm ~blocks:4 () in
   let b = Blockdev.alloc_block dev in
   let data = Bytes.init Addr.page_size (fun i -> Char.chr (i land 0xFF)) in
   Cloak.Vmm.phys_write vmm 0 ~off:0 data;
