@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test chaos-smoke recovery ci clean
+.PHONY: all build test chaos-smoke recovery soak ci clean
 
 all: build
 
@@ -25,7 +25,15 @@ chaos-smoke: build
 recovery: build
 	$(DUNE) exec bin/overshadow_cli.exe -- crash-matrix --seeds 20 --bench-out BENCH_recovery.json
 
-ci: test chaos-smoke recovery
+# Availability soak: a restart-aware cloaked service under sustained
+# lethal fault plans, supervised (sealed checkpoints + restart-with-
+# backoff) vs unsupervised; checks privacy across restarts, stale-
+# checkpoint rejection and audit determinism, and emits the availability
+# and MTTR numbers as BENCH_availability.json.
+soak: build
+	$(DUNE) exec bin/overshadow_cli.exe -- soak --seeds 20 --bench-out BENCH_availability.json
+
+ci: test chaos-smoke recovery soak
 
 clean:
 	$(DUNE) clean

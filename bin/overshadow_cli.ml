@@ -7,6 +7,7 @@
      overshadow-cli chaos --seeds 25          seeded fault-injection sweep
      overshadow-cli recover --site blk-write  one crash + recovery replay, narrated
      overshadow-cli crash-matrix --seeds 20   every crash point x N seeds
+     overshadow-cli soak --seeds 20           supervised availability soak
      overshadow-cli list                      what's available
 
    The benchmark tables (E1-E8) live in `dune exec bench/main.exe`. *)
@@ -197,6 +198,69 @@ let run_crash_matrix seeds base per_site verbose bench_out =
       List.iter (fun (seed, what) -> Printf.printf "FAILED seed %d: %s\n" seed what) fails;
       1
 
+let run_soak seeds base verbose bench_out =
+  let progress (r : Harness.Soak.seed_report) =
+    if verbose || r.Harness.Soak.failures <> [] then
+      Format.printf "%a@." Harness.Soak.pp_seed_report r
+  in
+  let t0 = Sys.time () in
+  let v =
+    Harness.Soak.run_seeds ~progress
+      ~seeds:(Harness.Chaos.seeds_from ~base ~count:seeds)
+      ()
+  in
+  let wall_s = Sys.time () -. t0 in
+  Printf.printf "%s\n" (Harness.Soak.summary_line v);
+  Printf.printf
+    "  useful work: %d units supervised vs %d unsupervised, %d checkpoints sealed\n"
+    v.Harness.Soak.total_units_sup v.Harness.Soak.total_units_unsup
+    v.Harness.Soak.total_checkpoints;
+  (match bench_out with
+  | None -> ()
+  | Some path ->
+      let json =
+        Printf.sprintf
+          "{\n\
+          \  \"benchmark\": \"availability\",\n\
+          \  \"seeds\": %d,\n\
+          \  \"rounds_per_run\": %d,\n\
+          \  \"availability_supervised\": %.4f,\n\
+          \  \"availability_unsupervised\": %.4f,\n\
+          \  \"mttr_cycles\": %.1f,\n\
+          \  \"restarts\": %d,\n\
+          \  \"circuit_breaks\": %d,\n\
+          \  \"checkpoints\": %d,\n\
+          \  \"units_supervised\": %d,\n\
+          \  \"units_unsupervised\": %d,\n\
+          \  \"wall_s\": %.3f,\n\
+          \  \"failures\": %d\n\
+           }\n"
+          v.Harness.Soak.seeds_run Harness.Soak.rounds
+          v.Harness.Soak.availability_sup v.Harness.Soak.availability_unsup
+          v.Harness.Soak.mttr_cycles v.Harness.Soak.total_restarts
+          v.Harness.Soak.total_circuit_breaks v.Harness.Soak.total_checkpoints
+          v.Harness.Soak.total_units_sup v.Harness.Soak.total_units_unsup
+          wall_s
+          (List.length v.Harness.Soak.failures)
+      in
+      let oc = open_out path in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "  wrote %s\n" path);
+  match v.Harness.Soak.failures with
+  | [] when v.Harness.Soak.total_units_sup > v.Harness.Soak.total_units_unsup ->
+      Printf.printf
+        "all invariants held: privacy across restarts, no stale-checkpoint acceptance, deterministic audit\n";
+      0
+  | [] ->
+      Printf.printf
+        "FAILED: supervision did not beat its absence (%d units vs %d)\n"
+        v.Harness.Soak.total_units_sup v.Harness.Soak.total_units_unsup;
+      1
+  | fails ->
+      List.iter (fun (seed, what) -> Printf.printf "FAILED seed %d: %s\n" seed what) fails;
+      1
+
 let run_list () =
   Printf.printf "compute kernels:\n";
   List.iter (fun k -> Printf.printf "  %s\n" k.Workloads.Spec.name) Workloads.Spec.kernels;
@@ -303,6 +367,31 @@ let crash_matrix_cmd =
       const run_crash_matrix $ seeds_arg $ base_arg $ per_site_arg $ verbose_arg
       $ bench_out_arg)
 
+let soak_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N" ~doc:"Number of workload seeds.")
+  in
+  let base_arg =
+    Arg.(value & opt int 1 & info [ "base" ] ~docv:"SEED" ~doc:"First seed of the sweep.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print every seed's report, not just failures.")
+  in
+  let bench_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE" ~doc:"Write a JSON benchmark summary to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Run the availability soak: a restart-aware cloaked service under sustained \
+          lethal fault plans, supervised (sealed checkpoints + restart-with-backoff) \
+          vs unsupervised, checking privacy across restarts, stale-checkpoint \
+          rejection and audit determinism.")
+    Term.(const run_soak $ seeds_arg $ base_arg $ verbose_arg $ bench_out_arg)
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available kernels and attacks.") Term.(const run_list $ const ())
 
@@ -314,4 +403,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ kernel_cmd; attack_cmd; counters_cmd; chaos_cmd; recover_cmd; crash_matrix_cmd; list_cmd ]))
+          [ kernel_cmd; attack_cmd; counters_cmd; chaos_cmd; recover_cmd; crash_matrix_cmd;
+            soak_cmd; list_cmd ]))

@@ -18,6 +18,7 @@ type event =
   | Dropped_page of { tag : string; idx : int }
   | Dropped_resource of { tag : string }
   | Generation of { id : int; gen : int; size : int; pages : int }
+  | Seal of { tag : string; gen : int }
 
 type bind = { dev : string; block : int }
 type page = { version : int; iv : bytes; mac : bytes }
@@ -27,6 +28,7 @@ type state = {
   binds : (string * int, bind) Hashtbl.t;
   inflight : (string * int, bind) Hashtbl.t;
   gens : (int, int * int * int) Hashtbl.t;
+  seals : (string, int) Hashtbl.t;
 }
 
 let fresh_state () =
@@ -35,6 +37,7 @@ let fresh_state () =
     binds = Hashtbl.create 64;
     inflight = Hashtbl.create 8;
     gens = Hashtbl.create 8;
+    seals = Hashtbl.create 8;
   }
 
 (* --- hex helpers (iv and mac travel as lowercase hex in record bodies) --- *)
@@ -71,6 +74,7 @@ let body_of_event = function
   | Dropped_page { tag; idx } -> Printf.sprintf "D|%s|%d" tag idx
   | Dropped_resource { tag } -> Printf.sprintf "F|%s" tag
   | Generation { id; gen; size; pages } -> Printf.sprintf "G|%d|%d|%d|%d" id gen size pages
+  | Seal { tag; gen } -> Printf.sprintf "S|%s|%d" tag gen
 
 let event_of_body body =
   match String.split_on_char '|' body with
@@ -102,6 +106,10 @@ let event_of_body body =
       with
       | Some id, Some gen, Some size, Some pages -> Some (Generation { id; gen; size; pages })
       | _ -> None)
+  | [ "S"; tag; gen ] -> (
+      match int_of_string_opt gen with
+      | Some gen -> Some (Seal { tag; gen })
+      | None -> None)
   | _ -> None
 
 (* --- the materialized view --- *)
@@ -140,6 +148,7 @@ let apply st = function
       drop_tagged st.binds tag;
       drop_tagged st.inflight tag
   | Generation { id; gen; size; pages } -> Hashtbl.replace st.gens id (gen, size, pages)
+  | Seal { tag; gen } -> Hashtbl.replace st.seals tag gen
 
 (* --- geometry --- *)
 
@@ -208,9 +217,12 @@ let snapshot_lines st =
     Hashtbl.fold
       (fun id (gen, size, pages) acc -> Printf.sprintf "N|%d|%d|%d|%d" id gen size pages :: acc)
       st.gens []
+  and seal_lines =
+    Hashtbl.fold (fun tag gen acc -> Printf.sprintf "S|%s|%d" tag gen :: acc) st.seals []
   in
   List.sort String.compare
-    (page_lines @ bind_lines "B" st.binds @ bind_lines "P" st.inflight @ gen_lines)
+    (page_lines @ bind_lines "B" st.binds @ bind_lines "P" st.inflight @ gen_lines
+   @ seal_lines)
 
 let parse_snapshot_line st line =
   match String.split_on_char '|' line with
@@ -235,6 +247,12 @@ let parse_snapshot_line st line =
           Hashtbl.replace st.gens id (gen, size, pages);
           true
       | _ -> false)
+  | [ "S"; tag; gen ] -> (
+      match int_of_string_opt gen with
+      | Some gen ->
+          Hashtbl.replace st.seals tag gen;
+          true
+      | None -> false)
   | _ -> false
 
 let ckpt_magic = "OVSJC"

@@ -25,8 +25,9 @@
 
     Record vocabulary (the [event] type): [U] metadata update, [I] write
     intent, [C] write commit, [X] device block freed, [D]/[F] page or
-    resource dropped, [G] generation bump. An intent without a commit is
-    the in-flight window recovery must treat as suspect. *)
+    resource dropped, [G] generation bump, [S] sealed-checkpoint
+    generation bump. An intent without a commit is the in-flight window
+    recovery must treat as suspect. *)
 
 type store = {
   blocks : int;                  (** reserved blocks available to the journal *)
@@ -58,6 +59,10 @@ type event =
   | Dropped_resource of { tag : string }
   | Generation of { id : int; gen : int; size : int; pages : int }
       (** shm object [id] was exported at generation [gen] *)
+  | Seal of { tag : string; gen : int }
+      (** a sealed checkpoint of resource [tag] was captured at seal
+          generation [gen]: any earlier sealed checkpoint for the resource
+          is now stale and must never be restored *)
 
 type bind = { dev : string; block : int }
 type page = { version : int; iv : bytes; mac : bytes }
@@ -67,6 +72,7 @@ type state = {
   binds : (string * int, bind) Hashtbl.t;      (** committed durable locations *)
   inflight : (string * int, bind) Hashtbl.t;   (** intents without commits *)
   gens : (int, int * int * int) Hashtbl.t;     (** shm id -> gen, size, pages *)
+  seals : (string, int) Hashtbl.t;             (** resource tag -> latest seal gen *)
 }
 (** The journal's materialized view of its own records — what a replay of
     checkpoint + log reconstructs. *)

@@ -102,6 +102,13 @@ let replay ~vmm ~store ~read_block =
     |> List.sort compare
   in
   List.iter (fun (id, gen) -> Vmm.restore_generation vmm ~id ~gen) generations;
+  let seal_generations =
+    Hashtbl.fold (fun tag gen acc -> (tag, gen) :: acc) st.Journal.seals []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (tag, gen) -> Vmm.restore_seal_generation vmm ~tag ~gen)
+    seal_generations;
   List.iter (fun r -> Vmm.quarantine vmm r Violation.Torn_state) torn_resources;
   {
     epoch = loaded.Journal.repoch;

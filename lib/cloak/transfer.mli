@@ -19,6 +19,9 @@ type regs = { pc : int; sp : int; gp : int array }
 val fresh_regs : unit -> regs
 val equal_regs : regs -> regs -> bool
 
+val copy_regs : regs -> regs
+(** Deep copy (the [gp] array is not shared). *)
+
 type handle = private int
 (** Names one saved context; passed through the (untrusted) kernel to the
     trampoline. Possession of a handle grants nothing: the VMM checks it

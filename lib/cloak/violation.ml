@@ -6,6 +6,7 @@ type kind =
   | Metadata_forged
   | Iv_reuse
   | Torn_state
+  | Stale_checkpoint
 
 type t = { kind : kind; detail : string; resource : Resource.t option }
 
@@ -19,6 +20,7 @@ let kind_to_string = function
   | Metadata_forged -> "metadata-forged"
   | Iv_reuse -> "iv-reuse"
   | Torn_state -> "torn-state"
+  | Stale_checkpoint -> "stale-checkpoint"
 
 let fail ?resource kind fmt =
   Format.kasprintf

@@ -23,6 +23,11 @@ type kind =
                     commit and whose on-disk bytes fail verification — the
                     write was torn by the crash; the page is quarantined,
                     never silently served *)
+  | Stale_checkpoint
+      (** a sealed checkpoint older than the journal's latest sealed
+          generation for the resource was offered for restore — accepting
+          it would turn supervised restart into a rollback oracle, so the
+          restore is refused *)
 
 type t = {
   kind : kind;

@@ -48,6 +48,7 @@ type t = {
   ranges : (int, range list ref) Hashtbl.t;        (* asid -> placements *)
   bound : (Addr.ppn, Resource.t * int) Hashtbl.t;  (* physmap cloak lookups *)
   generations : (int, int) Hashtbl.t;              (* shm id -> freshness *)
+  seal_gens : (string, int) Hashtbl.t;             (* resource tag -> seal freshness *)
   mutable next_shm : int;
   mutable current : Context.t option;
   mutable journal : Journal.t option;  (* crash-consistent metadata WAL *)
@@ -76,6 +77,7 @@ let create ?(config = default_config) ?engine () =
     ranges = Hashtbl.create 16;
     bound = Hashtbl.create 256;
     generations = Hashtbl.create 16;
+    seal_gens = Hashtbl.create 8;
     next_shm = 1;
     current = None;
     journal = None;
@@ -103,9 +105,21 @@ let journal t = t.journal
    still being reproducible from the VMM seed after a restart. *)
 let journal_key t = Oscrypto.Hmac.mac ~key:t.mac_key (Bytes.of_string "journal-key")
 
+(* Sealed checkpoints live in their own MAC domain, derived like the
+   journal key so a rebooted same-seed VMM can still authenticate them. *)
+let seal_key t = Oscrypto.Hmac.mac ~key:t.mac_key (Bytes.of_string "seal-key")
+
 let attach_journal ?ckpt_every t ~store =
   let j = Journal.attach ?engine:t.engine ?ckpt_every ~key:(journal_key t) store in
   t.journal <- Some j;
+  (* inherit the seal freshness the journal proved durable, so checkpoints
+     sealed before a crash cannot be replayed as fresh after it *)
+  Hashtbl.iter
+    (fun tag gen ->
+      match Hashtbl.find_opt t.seal_gens tag with
+      | Some cur when cur >= gen -> ()
+      | _ -> Hashtbl.replace t.seal_gens tag gen)
+    (Journal.state j).Journal.seals;
   j
 
 (* Journal a fresh encryption of a persistent (shm) page. This runs before
@@ -409,6 +423,16 @@ let encrypt_page ?(reuse = false) t resource idx (e : Metadata.entry) mpn =
   end;
   unmap_view t resource idx Context.App
 
+(* Does [cipher] match the entry's authenticated {iv,mac,version}? Used by
+   checkpoint capture to refuse sealing a frame the (hostile) RAM tore or
+   flipped after encryption — the blob may only ever hold bytes the VMM
+   has authenticated, never raw frame residue. *)
+let authenticate_cipher t resource idx (e : Metadata.entry) ~cipher =
+  t.counters.hash_checks <- t.counters.hash_checks + 1;
+  Cost.charge_crypto_page t.cost ~bytes_count:Addr.page_size ~hash:true;
+  Oscrypto.Hmac.verify ~key:t.mac_key ~tag:e.mac
+    (Metadata.mac_input ~resource ~idx ~version:e.version ~iv:e.iv ~cipher)
+
 let decrypt_page t resource idx (e : Metadata.entry) mpn =
   let cipher = Bytes.copy (page_bytes t mpn) in
   t.counters.hash_checks <- t.counters.hash_checks + 1;
@@ -664,6 +688,16 @@ let quarantine t resource kind =
 
 let is_quarantined t resource = Hashtbl.mem t.quarantined resource
 
+(* Supervised restart: once the condemned incarnation is fully torn down
+   (plaintext scrubbed, metadata dropped), the resource identity may be
+   reused by a respawn restored from a sealed checkpoint. *)
+let absolve t resource =
+  if Hashtbl.mem t.quarantined resource then begin
+    Hashtbl.remove t.quarantined resource;
+    Inject.Audit.record t.audit "absolve resource=%s (supervised respawn)"
+      (Resource.tag resource)
+  end
+
 let drop_cloaked_pages t resource ~base_idx ~pages =
   for idx = base_idx to base_idx + pages - 1 do
     journal_drop_page t resource idx;
@@ -886,3 +920,25 @@ let restore_entry t ~resource ~idx ~version ~iv ~mac =
 let restore_generation t ~id ~gen =
   Hashtbl.replace t.generations id gen;
   if id >= t.next_shm then t.next_shm <- id + 1
+
+(* --- sealed-checkpoint freshness ---
+
+   Parallels the shm generation table: every captured checkpoint bumps the
+   resource's seal generation and anchors it in the journal, so a restore
+   can prove the blob it holds is the latest one ever sealed. *)
+
+let seal_generation t ~tag =
+  Option.value ~default:0 (Hashtbl.find_opt t.seal_gens tag)
+
+let bump_seal_generation t ~tag =
+  let gen = seal_generation t ~tag + 1 in
+  Hashtbl.replace t.seal_gens tag gen;
+  (match t.journal with
+  | Some j -> Journal.record j (Seal { tag; gen })
+  | None -> ());
+  gen
+
+let restore_seal_generation t ~tag ~gen =
+  if gen > seal_generation t ~tag then Hashtbl.replace t.seal_gens tag gen
+
+let fold_meta t resource f init = Metadata.fold_resource t.meta resource f init

@@ -128,6 +128,11 @@ val quarantine : t -> Resource.t -> Violation.kind -> unit
 
 val is_quarantined : t -> Resource.t -> bool
 
+val absolve : t -> Resource.t -> unit
+(** Lift a quarantine after the condemned incarnation has been fully torn
+    down, so a supervised respawn may reuse the resource identity. A no-op
+    for resources that were never quarantined. *)
+
 val fresh_shm : t -> Resource.t
 
 val drop_cloaked_pages : t -> Resource.t -> base_idx:int -> pages:int -> unit
@@ -211,6 +216,47 @@ val restore_entry :
 
 val restore_generation : t -> id:int -> gen:int -> unit
 (** Reinstall a shm object's freshness generation. *)
+
+(** {1 Sealed-checkpoint support (see [Seal])}
+
+    Sealed checkpoints of cloaked processes carry their own freshness
+    generation, anchored in the metadata journal exactly like shm
+    generations: restoring any checkpoint older than the latest sealed one
+    for the resource is a {!Violation.Stale_checkpoint} violation. *)
+
+val seal_key : t -> bytes
+(** MAC key for sealed checkpoint blobs, derived from the VMM's metadata
+    key (so it re-derives after a same-seed restart). TCB-only. *)
+
+val seal_generation : t -> tag:string -> int
+(** Latest sealed generation for the resource tag; 0 if never sealed. *)
+
+val bump_seal_generation : t -> tag:string -> int
+(** Advance and return the resource's seal generation, journaling the bump
+    (when a journal is attached) before the new checkpoint blob exists —
+    write-ahead, so a crash can hide the new checkpoint but never revive
+    an old one. *)
+
+val restore_seal_generation : t -> tag:string -> gen:int -> unit
+(** Recovery-side reinstall; keeps the maximum of the known and restored
+    generations. *)
+
+val fold_meta : t -> Resource.t -> (int -> Metadata.entry -> 'a -> 'a) -> 'a -> 'a
+(** Fold over the resource's per-page metadata entries (checkpoint capture
+    enumerates cloaked pages this way). *)
+
+val authenticate_cipher :
+  t -> Resource.t -> int -> Metadata.entry -> cipher:bytes -> bool
+(** Does [cipher] match the page's authenticated [{iv; mac; version}]?
+    Checkpoint capture uses this to refuse sealing a frame that hostile
+    RAM tore or flipped after encryption: the blob may only ever hold
+    bytes the VMM has authenticated, never raw frame residue. Charges one
+    page MAC. *)
+
+val violate : t -> ?resource:Resource.t -> Violation.kind -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Record a violation in the audit trail and counters, then raise
+    {!Violation.Security_fault} — the single funnel every integrity check
+    in the TCB uses, exposed for the [Seal] module. *)
 
 (** {1 Charging helpers for upper layers} *)
 

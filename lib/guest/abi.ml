@@ -53,6 +53,10 @@ type call =
       (** shim hypercall: the open file [fd] is the content image of
           protected object [resource]; the kernel routes its writeback
           through the metadata journal's intent/commit protocol *)
+  | Checkpoint
+      (** shim hypercall: the process is at a quiesce point and asks its
+          supervisor to capture a sealed checkpoint now; returns the seal
+          generation, or EINVAL for unsupervised processes *)
   | Fault of Machine.Fault.page_fault
       (** not a real syscall: how the user-level access loop reports a page
           fault to the kernel for resolution *)
@@ -86,6 +90,12 @@ and env = {
   quantum : int;
       (** cycles of compute between timer ticks; set from the kernel config
           so the user-level compute loop paces its [Tick]s correctly *)
+  mutable restored : bool;
+      (** true when this image was respawned from a sealed checkpoint:
+          restart-aware programs skip initialization and reattach to their
+          restored cloaked state instead *)
+  mutable incarnation : int;
+      (** 0 for the first spawn, then the supervisor's restart count *)
 }
 
 type _ Effect.t += Syscall : call -> value Effect.t

@@ -209,23 +209,9 @@ let size t id = (inode t id).size
 
 (* --- page cache --- *)
 
-(* Transient device errors are retried with exponential backoff (charged
-   as idle disk waits); only a persistent failure surfaces as EIO. A
-   failed DMA has no effect, so retrying is always safe. *)
-let io_retry_limit = 3
-
-let with_disk_retry t f =
-  let rec go attempt =
-    try f ()
-    with Blockdev.Io_error _ ->
-      let c = Cloak.Vmm.counters t.vmm in
-      c.io_retries <- c.io_retries + 1;
-      Cloak.Vmm.charge t.vmm
-        ((Cost.model (Cloak.Vmm.cost t.vmm)).disk_op * (1 lsl attempt));
-      if attempt >= io_retry_limit then raise (Errno.Error EIO)
-      else go (attempt + 1)
-  in
-  go 0
+(* Transient device errors get the shared bounded retry-with-backoff
+   policy; only a persistent failure surfaces as EIO. *)
+let with_disk_retry t f = Retry.disk t.vmm f
 
 let cache_page t ino idx =
   match Hashtbl.find_opt t.cache (ino.id, idx) with

@@ -25,6 +25,19 @@ let default_config =
     journal_ckpt_every = 64;
   }
 
+(* Restart policy for a supervised cloaked process. The backoff doubles on
+   every successive restart; once the budget is spent the circuit breaks
+   and the process stays down (a crash-looping workload must not grind the
+   guest forever). *)
+type restart_policy = {
+  restart_budget : int;  (* restarts granted before the circuit breaks *)
+  backoff_cycles : int;  (* base restart delay in cycles; doubles per attempt *)
+  ckpt_every : int;  (* completed syscalls between automatic checkpoints;
+                        0 = only explicit Checkpoint hypercalls *)
+}
+
+let default_policy = { restart_budget = 5; backoff_cycles = 50_000; ckpt_every = 0 }
+
 exception Deadlock of string
 
 (* Raised inside syscall execution when a user buffer cannot be made valid. *)
@@ -83,6 +96,25 @@ type proc = {
   swap_map : (Addr.vpn, int) Hashtbl.t;
 }
 
+(* Supervisor bookkeeping for one cloaked process: restart policy and
+   budget, the last two sealed checkpoints (the previous one survives only
+   so harnesses can prove rollback to it is refused), and availability
+   accounting. *)
+type supervision = {
+  policy : restart_policy;
+  prog : Abi.program;
+  mutable restarts : int;
+  mutable broken : bool;  (* circuit broken: no further restarts *)
+  mutable checkpoint : bytes option;  (* latest sealed checkpoint blob *)
+  mutable prev_checkpoint : bytes option;
+  mutable checkpoints : int;
+  mutable syscalls_since : int;  (* completed syscalls since last capture *)
+  mutable recovery_cycles : int;  (* cycles spent inside respawns (MTTR) *)
+  mutable respawning : bool;  (* a respawn is on the stack: nested retries
+                                 must not double-count recovery cycles *)
+  mutable kill_statuses : int list;  (* fatal exits observed, newest first *)
+}
+
 type t = {
   vmm : Cloak.Vmm.t;
   transfer : Cloak.Transfer.t;
@@ -100,6 +132,7 @@ type t = {
   mutable next_pipe : int;
   mutable violations : (int * Cloak.Violation.t) list;
   exit_log : (int, int) Hashtbl.t;
+  supervised : (int, supervision) Hashtbl.t;
 }
 
 let vmm t = t.vmm
@@ -116,17 +149,7 @@ let proc_count t = Hashtbl.length t.procs
 
 (* Transient swap-device errors get the same bounded retry-with-backoff as
    the filesystem's page cache; only a persistent failure surfaces as EIO. *)
-let swap_retry t f =
-  let rec go attempt =
-    try f ()
-    with Blockdev.Io_error _ ->
-      let c = Cloak.Vmm.counters t.vmm in
-      c.io_retries <- c.io_retries + 1;
-      Cloak.Vmm.charge t.vmm
-        ((Cost.model (Cloak.Vmm.cost t.vmm)).disk_op * (1 lsl attempt));
-      if attempt >= 3 then raise (Errno.Error EIO) else go (attempt + 1)
-  in
-  go 0
+let swap_retry t f = Retry.disk t.vmm f
 
 let release_guest_page t ppn =
   Cloak.Vmm.release_ppn t.vmm ppn;
@@ -205,6 +228,7 @@ let create ?(config = default_config) vmm =
       next_pipe = 1;
       violations = [];
       exit_log = Hashtbl.create 32;
+      supervised = Hashtbl.create 8;
     }
   in
   t.fs <-
@@ -254,9 +278,68 @@ let fresh_areas cloaked =
     { start_vpn = heap_base_vpn; pages = 0; kind = `Heap; cloaked_area = cloaked };
   ]
 
-let alloc_proc t ~parent ~cloaked =
-  let pid = t.next_pid in
-  t.next_pid <- pid + 1;
+(* The address-space layout travels inside a sealed checkpoint as an opaque
+   string: "brk,mmap_next;K,start,pages,cloaked;..." with K one of H/S/M.
+   Uses only [;,-] and alphanumerics, as Seal.check_layout requires. *)
+let render_layout proc =
+  let area_str (a : area) =
+    Printf.sprintf "%c,%d,%d,%d"
+      (match a.kind with `Heap -> 'H' | `Stack -> 'S' | `Mmap -> 'M')
+      a.start_vpn a.pages
+      (if a.cloaked_area then 1 else 0)
+  in
+  String.concat ";"
+    (Printf.sprintf "%d,%d" proc.brk_vpn proc.mmap_next
+    :: List.map area_str proc.areas)
+
+let parse_layout s =
+  match String.split_on_char ';' s with
+  | [] -> None
+  | head :: rest -> (
+      match String.split_on_char ',' head with
+      | [ brk; mn ] -> (
+          match (int_of_string_opt brk, int_of_string_opt mn) with
+          | Some brk_vpn, Some mmap_next ->
+              let area_of s =
+                match String.split_on_char ',' s with
+                | [ k; start; pages; cloaked ] -> (
+                    let kind =
+                      match k with
+                      | "H" -> Some `Heap
+                      | "S" -> Some `Stack
+                      | "M" -> Some `Mmap
+                      | _ -> None
+                    in
+                    match
+                      (kind, int_of_string_opt start, int_of_string_opt pages,
+                       int_of_string_opt cloaked)
+                    with
+                    | Some kind, Some start_vpn, Some pages, Some c ->
+                        Some { start_vpn; pages; kind; cloaked_area = c = 1 }
+                    | _ -> None)
+                | _ -> None
+              in
+              let areas = List.map area_of rest in
+              if List.for_all Option.is_some areas then
+                Some (brk_vpn, mmap_next, List.filter_map Fun.id areas)
+              else None
+          | _ -> None)
+      | _ -> None)
+
+(* [pid] reuses a dead process's identity (supervised respawn keeps the
+   pid stable across incarnations); the default draws a fresh one. *)
+let alloc_proc ?pid t ~parent ~cloaked =
+  let pid =
+    match pid with
+    | Some pid ->
+        if Hashtbl.mem t.procs pid then
+          invalid_arg "Kernel.alloc_proc: pid still in use";
+        pid
+    | None ->
+        let pid = t.next_pid in
+        t.next_pid <- pid + 1;
+        pid
+  in
   let pt = Page_table.create ~asid:pid in
   Cloak.Vmm.register_address_space t.vmm pt;
   let env =
@@ -270,6 +353,8 @@ let alloc_proc t ~parent ~cloaked =
       heap_base_vaddr = Addr.vaddr_of_vpn heap_base_vpn;
       heap_cursor = Addr.vaddr_of_vpn heap_base_vpn;
       quantum = t.cfg.quantum;
+      restored = false;
+      incarnation = 0;
     }
   in
   let proc =
@@ -303,6 +388,24 @@ let spawn t ?(cloaked = false) prog =
   proc.task <- Some (Start prog);
   enqueue t proc;
   proc.pid
+
+let spawn_supervised t ?(policy = default_policy) prog =
+  let pid = spawn t ~cloaked:true prog in
+  Hashtbl.replace t.supervised pid
+    {
+      policy;
+      prog;
+      restarts = 0;
+      broken = false;
+      checkpoint = None;
+      prev_checkpoint = None;
+      checkpoints = 0;
+      syscalls_since = 0;
+      recovery_cycles = 0;
+      respawning = false;
+      kill_statuses = [];
+    };
+  pid
 
 (* --- wakeups --- *)
 
@@ -365,7 +468,115 @@ let free_all_memory t proc =
   Page_table.iter proc.pt (fun vpn _ -> vpns := vpn :: !vpns);
   List.iter (Page_table.unmap proc.pt) !vpns
 
-let do_exit t proc status =
+(* --- supervised restart --- *)
+
+(* Respawn a supervised cloaked process after a fatal kill. The old
+   incarnation is already scrubbed (do_exit ran first), so absolve the
+   quarantined resource, charge the exponential backoff, and bring up a
+   fresh incarnation from the last sealed checkpoint — or from scratch if
+   none was ever captured. A checkpoint that fails verification — forged
+   or stale — trips the circuit breaker instead of being served. *)
+let rec respawn t pid sup status =
+  let audit fmt = Inject.Audit.record (Cloak.Vmm.audit t.vmm) fmt in
+  let c = Cloak.Vmm.counters t.vmm in
+  if sup.restarts >= sup.policy.restart_budget then begin
+    sup.broken <- true;
+    c.circuit_breaks <- c.circuit_breaks + 1;
+    audit "supervisor circuit-break pid=%d after %d restarts (exit %d)" pid
+      sup.restarts status
+  end
+  else begin
+    let nested = sup.respawning in
+    sup.respawning <- true;
+    let t0 = Cost.cycles (Cloak.Vmm.cost t.vmm) in
+    let attempt = sup.restarts in
+    sup.restarts <- attempt + 1;
+    c.restarts <- c.restarts + 1;
+    Cloak.Vmm.charge t.vmm (sup.policy.backoff_cycles * (1 lsl attempt));
+    audit "supervisor restart pid=%d attempt=%d exit=%d" pid attempt status;
+    Cloak.Vmm.absolve t.vmm (Cloak.Resource.Anon pid);
+    (* Build the new incarnation. Machine-level failures mid-construction
+       (an exhausted allocator, a dying swap device) are contained by
+       routing the half-built incarnation back through do_exit with a
+       fatal status, which re-enters the supervisor: the retry costs
+       another attempt and another (doubled) backoff, and the budget
+       bounds the recursion. *)
+    let construct restored_opt =
+      let proc = alloc_proc ~pid t ~parent:0 ~cloaked:true in
+      (match restored_opt with
+      | None -> ()
+      | Some restored ->
+          (* rebuild the layout the checkpoint describes (same idiom as
+             fork: drop the default cloaked ranges, then re-cloak) *)
+          List.iter
+            (fun (a : area) ->
+              if a.cloaked_area && a.pages > 0 then
+                Cloak.Vmm.uncloak_range t.vmm ~asid:pid ~start_vpn:a.start_vpn)
+            proc.areas;
+          (match parse_layout restored.Cloak.Seal.layout with
+          | Some (brk_vpn, mmap_next, areas) ->
+              proc.areas <- areas;
+              proc.brk_vpn <- brk_vpn;
+              proc.mmap_next <- mmap_next
+          | None -> ());
+          List.iter (cloak_area t proc) proc.areas;
+          (* reinstall ciphertext through the kernel's physical view: a
+             fresh frame takes the raw bytes; the next App-view touch
+             decrypts and verifies against the restored metadata *)
+          let write_page vpn cipher =
+            let ppn =
+              match Page_table.lookup proc.pt vpn with
+              | Some pte -> pte.ppn
+              | None -> map_user_page t proc vpn
+            in
+            Cloak.Vmm.phys_write t.vmm ppn ~off:0 cipher
+          in
+          Cloak.Seal.install t.vmm restored ~write_page;
+          proc.regs <- Cloak.Transfer.copy_regs restored.Cloak.Seal.regs;
+          proc.env.restored <- true);
+      proc.env.incarnation <- sup.restarts;
+      proc.task <- Some (Start sup.prog);
+      enqueue t proc
+    in
+    let contain_construct exn_status what =
+      audit "supervisor restart failed pid=%d (%s)" pid what;
+      match Hashtbl.find_opt t.procs pid with
+      | Some p -> do_exit t p exn_status
+      | None -> ()
+    in
+    (match sup.checkpoint with
+    | None -> (
+        (* no checkpoint yet: restart from the program entry point *)
+        try construct None with
+        | Phys_mem.Out_of_memory -> contain_construct 137 "oom"
+        | Fault.Machine_check _ | Blockdev.Io_error _ | Errno.Error _ ->
+            contain_construct (-3) "machine")
+    | Some blob -> (
+        match
+          try `Ok (Cloak.Seal.unseal t.vmm blob)
+          with Cloak.Violation.Security_fault v -> `Bad v
+        with
+        | `Bad v ->
+            (* never serve a forged or stale checkpoint: break the circuit *)
+            sup.broken <- true;
+            c.circuit_breaks <- c.circuit_breaks + 1;
+            t.violations <- (pid, v) :: t.violations;
+            audit "supervisor circuit-break pid=%d checkpoint rejected (%s)"
+              pid
+              (Cloak.Violation.kind_to_string v.Cloak.Violation.kind)
+        | `Ok restored -> (
+            try construct (Some restored) with
+            | Phys_mem.Out_of_memory -> contain_construct 137 "oom"
+            | Fault.Machine_check _ | Blockdev.Io_error _ | Errno.Error _ ->
+                contain_construct (-3) "machine")));
+    if not nested then begin
+      sup.recovery_cycles <-
+        sup.recovery_cycles + (Cost.cycles (Cloak.Vmm.cost t.vmm) - t0);
+      sup.respawning <- false
+    end
+  end
+
+and do_exit t proc status =
   if proc.state <> Dead then begin
     let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) proc.fds [] in
     List.iter (fun fd -> ignore (close_fd t proc fd)) fds;
@@ -402,7 +613,17 @@ let do_exit t proc status =
     else begin
       proc.state <- Dead;
       Hashtbl.remove t.procs proc.pid
-    end
+    end;
+    (* supervised restart: only fatal kills (security, machine check, OOM)
+       trigger a respawn — a voluntary exit means the work is done. The pid
+       must be fully released (Dead, not Zombie) before it can be reused. *)
+    match Hashtbl.find_opt t.supervised proc.pid with
+    | Some sup
+      when proc.state = Dead
+           && (status = -2 || status = -3 || status = 137) ->
+        sup.kill_statuses <- status :: sup.kill_statuses;
+        if not sup.broken then respawn t proc.pid sup status
+    | Some _ | None -> ()
   end
 
 (* --- fault containment --- *)
@@ -761,6 +982,57 @@ let ensure_resident t proc vpn =
   | Some _ -> ()
   | None -> if Hashtbl.mem proc.swap_map vpn then swap_in t proc vpn
 
+(* --- sealed checkpoints --- *)
+
+(* Capture a sealed checkpoint of [proc] at the current quiesce point
+   (syscall boundary: the transfer context is saved, so proc.regs is the
+   register image the VMM attested at kernel entry). Swapped pages are
+   brought back first so the blob seals the authoritative ciphertext.
+   Returns the new journal-anchored seal generation. *)
+let capture_checkpoint t proc sup =
+  Cloak.Vmm.hypercall t.vmm;
+  let resource = anon_resource proc in
+  let idxs =
+    Cloak.Vmm.fold_meta t.vmm resource (fun idx _ acc -> idx :: acc) []
+  in
+  List.iter (ensure_resident t proc) idxs;
+  let read_page vpn =
+    match Page_table.lookup proc.pt vpn with
+    | Some pte -> Cloak.Vmm.phys_read t.vmm pte.ppn ~off:0 ~len:Addr.page_size
+    | None ->
+        (* a tracked page that is neither resident nor in swap: the image
+           cannot be captured faithfully, so fail the capture *)
+        raise (Errno.Error EIO)
+  in
+  let regs = Cloak.Transfer.copy_regs proc.regs in
+  let layout = render_layout proc in
+  let blob = Cloak.Seal.capture t.vmm ~resource ~regs ~layout ~read_page in
+  sup.prev_checkpoint <- sup.checkpoint;
+  sup.checkpoint <- Some blob;
+  sup.checkpoints <- sup.checkpoints + 1;
+  sup.syscalls_since <- 0;
+  Cloak.Vmm.seal_generation t.vmm ~tag:(Cloak.Resource.tag resource)
+
+let sys_checkpoint t proc =
+  match Hashtbl.find_opt t.supervised proc.pid with
+  | None -> err Errno.EINVAL
+  | Some sup -> Done (Abi.Int (capture_checkpoint t proc sup))
+
+(* Auto-cadence: count completed syscalls and capture at the policy's
+   interval. Runs inside handle_syscall's containment boundary, so a
+   security fault raised mid-capture is contained like any other and the
+   supervisor respawns from the last good checkpoint. *)
+let maybe_auto_checkpoint t proc =
+  match Hashtbl.find_opt t.supervised proc.pid with
+  | Some sup when sup.policy.ckpt_every > 0 ->
+      sup.syscalls_since <- sup.syscalls_since + 1;
+      if sup.syscalls_since >= sup.policy.ckpt_every then (
+        try ignore (capture_checkpoint t proc sup)
+        with Errno.Error _ ->
+          Inject.Audit.record (Cloak.Vmm.audit t.vmm)
+            "checkpoint skipped pid=%d" proc.pid)
+  | Some _ | None -> ()
+
 let sys_fork t proc child_prog =
   (* Bring the parent's swapped pages back first so the cloak metadata that
      [clone_cloaked] verifies refers to resident ciphertext. *)
@@ -884,6 +1156,7 @@ let exec_call t proc (call : Abi.call) : outcome =
           Done Abi.Unit
       | Some _ -> err Errno.EINVAL
       | None -> err Errno.EBADF)
+  | Checkpoint -> sys_checkpoint t proc
   | Fault pf -> (
       Cloak.Vmm.guest_fault_charge t.vmm;
       match resolve_fault t proc pf with
@@ -991,7 +1264,14 @@ let handle_syscall t proc call cont =
      unwind the run loop. Security faults reach the pid-kill containment
      point; machine-level failures become errors or contained kills. *)
   let outcome =
-    try exec_call t proc call with
+    try
+      let o = exec_call t proc call in
+      (match (o, call) with
+      | Done _, Abi.Checkpoint -> ()  (* an explicit capture resets cadence *)
+      | Done _, _ -> maybe_auto_checkpoint t proc
+      | _, _ -> ());
+      o
+    with
     | User_segv _ -> Terminate 139
     | Errno.Error e -> Done (Abi.Err e)
     | Phys_mem.Out_of_memory ->
@@ -1094,3 +1374,32 @@ let run t =
             loop ())
   in
   loop ()
+
+(* --- supervision introspection (for harnesses) --- *)
+
+type supervision_stats = {
+  sup_pid : int;
+  sup_restarts : int;
+  sup_broken : bool;
+  sup_checkpoints : int;
+  sup_recovery_cycles : int;
+  sup_kill_statuses : int list;  (* oldest first *)
+  sup_last_checkpoint : bytes option;
+  sup_prev_checkpoint : bytes option;
+}
+
+let supervision_stats t ~pid =
+  match Hashtbl.find_opt t.supervised pid with
+  | None -> None
+  | Some s ->
+      Some
+        {
+          sup_pid = pid;
+          sup_restarts = s.restarts;
+          sup_broken = s.broken;
+          sup_checkpoints = s.checkpoints;
+          sup_recovery_cycles = s.recovery_cycles;
+          sup_kill_statuses = List.rev s.kill_statuses;
+          sup_last_checkpoint = s.checkpoint;
+          sup_prev_checkpoint = s.prev_checkpoint;
+        }

@@ -27,6 +27,21 @@ type config = {
 
 val default_config : config
 
+type restart_policy = {
+  restart_budget : int;
+      (** restarts granted before the circuit breaks and the process stays
+          down permanently *)
+  backoff_cycles : int;
+      (** base restart delay in model cycles; doubles on every successive
+          restart of the same process *)
+  ckpt_every : int;
+      (** completed syscalls between automatic sealed checkpoints;
+          0 means only explicit {!Abi.Checkpoint} hypercalls capture *)
+}
+
+val default_policy : restart_policy
+(** [{ restart_budget = 5; backoff_cycles = 50_000; ckpt_every = 0 }] *)
+
 type t
 
 exception Deadlock of string
@@ -43,6 +58,15 @@ val config : t -> config
 val spawn : t -> ?cloaked:bool -> Abi.program -> int
 (** Create a process (optionally cloaked) ready to run; returns its pid. *)
 
+val spawn_supervised : t -> ?policy:restart_policy -> Abi.program -> int
+(** Create a cloaked process under supervision: fatal kills (security
+    fault [-2], machine check [-3], OOM [137]) respawn it — pid stable —
+    from its last sealed checkpoint after an exponential backoff, until
+    the restart budget trips the circuit breaker. Voluntary exits do not
+    restart. A checkpoint that fails verification at restore time (forged,
+    or older than the journal-anchored seal generation) is never served:
+    the supervisor records the violation and breaks the circuit. *)
+
 val run : t -> unit
 (** Drive the scheduler until every process has exited. *)
 
@@ -57,3 +81,25 @@ val violations : t -> (int * Cloak.Violation.t) list
 
 val proc_count : t -> int
 (** Processes not yet fully reaped (for tests). *)
+
+type supervision_stats = {
+  sup_pid : int;
+  sup_restarts : int;
+  sup_broken : bool;  (** circuit breaker tripped: no further restarts *)
+  sup_checkpoints : int;  (** sealed checkpoints captured *)
+  sup_recovery_cycles : int;
+      (** total model cycles spent inside respawns (backoff + restore);
+          divide by [sup_restarts] for mean time to recovery *)
+  sup_kill_statuses : int list;  (** fatal exits observed, oldest first *)
+  sup_last_checkpoint : bytes option;  (** latest sealed checkpoint blob *)
+  sup_prev_checkpoint : bytes option;
+      (** the one before it — retained so harnesses can prove that rolling
+          back to it raises [Stale_checkpoint] *)
+}
+
+val supervision_stats : t -> pid:int -> supervision_stats option
+(** Supervisor bookkeeping for a supervised pid; [None] if unsupervised. *)
+
+val mmap_base_vpn : int
+(** Base VPN of the mmap region (restart-aware services mmap their state
+    page first so it lands at a deterministic address). *)

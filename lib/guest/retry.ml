@@ -1,0 +1,28 @@
+(* The one bounded retry-with-backoff policy shared by every transient-
+   error path in the guest (page cache, swap, journal store). See
+   retry.mli. *)
+
+open Machine
+
+let with_backoff ~limit ~retryable ~charge ~base_cost ~exhausted f =
+  if limit < 0 then invalid_arg "Retry.with_backoff: negative limit";
+  if base_cost < 0 then invalid_arg "Retry.with_backoff: negative base_cost";
+  let rec go attempt =
+    try f ()
+    with e when retryable e ->
+      charge ~cycles:(base_cost * (1 lsl attempt));
+      if attempt >= limit then raise exhausted else go (attempt + 1)
+  in
+  go 0
+
+let io_retry_limit = 3
+
+let disk vmm f =
+  with_backoff ~limit:io_retry_limit
+    ~retryable:(function Blockdev.Io_error _ -> true | _ -> false)
+    ~charge:(fun ~cycles ->
+      let c = Cloak.Vmm.counters vmm in
+      c.io_retries <- c.io_retries + 1;
+      Cloak.Vmm.charge vmm cycles)
+    ~base_cost:(Cost.model (Cloak.Vmm.cost vmm)).disk_op
+    ~exhausted:(Errno.Error EIO) f

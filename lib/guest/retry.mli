@@ -1,0 +1,33 @@
+(** Bounded retry with exponential backoff — the single policy behind every
+    transient-device-error path in the guest. Previously the page cache and
+    the swap path each carried their own copy of this loop; keeping one
+    implementation keeps the cycle-charging (and therefore the
+    deterministic audit/cost story) identical everywhere. *)
+
+val with_backoff :
+  limit:int ->
+  retryable:(exn -> bool) ->
+  charge:(cycles:int -> unit) ->
+  base_cost:int ->
+  exhausted:exn ->
+  (unit -> 'a) ->
+  'a
+(** [with_backoff ~limit ~retryable ~charge ~base_cost ~exhausted f] runs
+    [f]. On the [a]-th failure with an exception [retryable] accepts
+    (counting from 0), it calls [charge ~cycles:(base_cost * 2^a)] — the
+    backoff charges are strictly increasing — then retries, up to [limit]
+    retries; the failure after the last permitted retry raises [exhausted]
+    instead. [f] therefore runs at most [limit + 1] times, [charge] is
+    invoked exactly once per failure, and success after [k] failures has
+    charged exactly [k] backoffs. Non-retryable exceptions propagate
+    unchanged. *)
+
+val io_retry_limit : int
+(** Retries granted to transient device errors before EIO (3). *)
+
+val disk : Cloak.Vmm.t -> (unit -> 'a) -> 'a
+(** The guest's device-I/O instance: retries {!Blockdev.Io_error} up to
+    {!io_retry_limit} times, charging idle disk waits ([disk_op * 2^a])
+    and bumping the [io_retries] counter once per failure, then raises
+    [Errno.Error EIO]. A failed DMA has no effect, so the retry is always
+    safe. *)

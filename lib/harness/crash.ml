@@ -128,6 +128,7 @@ let ledger_apply (l : ledger) = function
       let stale = Hashtbl.fold (fun (t, i) _ acc -> if t = tag then (t, i) :: acc else acc) l [] in
       List.iter (Hashtbl.remove l) stale
   | Generation _ -> ()
+  | Seal _ -> ()
 
 let ledger_bindings (l : ledger) =
   Hashtbl.fold (fun (tag, idx) (dev, block) acc -> (tag, idx, dev, block) :: acc) l []

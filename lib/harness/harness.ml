@@ -1,5 +1,6 @@
 module Chaos = Chaos
 module Crash = Crash
+module Soak = Soak
 
 open Machine
 open Guest

@@ -10,6 +10,11 @@ module Crash = Crash
 (** Re-export: the crash-point matrix (power cuts at every durable-write
     site, followed by recovery replay; see {!Crash.run_matrix}). *)
 
+module Soak = Soak
+(** Re-export: the availability soak (supervised restart from sealed
+    checkpoints under sustained lethal fault plans; see
+    {!Soak.run_seeds}). *)
+
 type result = {
   cycles : int;                 (** model cycles consumed by the scenario *)
   counters : Machine.Counters.t;(** event deltas over the scenario *)

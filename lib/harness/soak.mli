@@ -1,0 +1,81 @@
+(** Availability soak: supervised restart under sustained hostile fire.
+
+    Each seed derives a fault plan that repeatedly kills a restart-aware
+    cloaked service mid-run (IV-reuse and ciphertext bit-flips trigger
+    security kills; allocator exhaustion triggers OOM kills), then runs
+    the identical workload three ways: fault-free (the useful-work
+    baseline), supervised (sealed checkpoints + restart-with-backoff), and
+    unsupervised (first fatal kill is final). Three invariants must hold
+    for every seed:
+
+    - {b privacy across restarts}: the canary planted in the service's
+      cloaked state never appears on any OS-visible surface — machine
+      memory, RAM remanence, disk or swap blocks, or {e inside the sealed
+      checkpoint blobs themselves};
+    - {b no stale-checkpoint acceptance}: after the run, offering the
+      supervisor's previous (validly MAC'd) checkpoint back to the VMM
+      raises [Stale_checkpoint], while the latest checkpoint still
+      unseals — supervised restart is not a rollback oracle;
+    - {b determinism}: the same seed in the same mode yields bit-identical
+      audit logs.
+
+    Across the whole seed set, supervision must strictly beat its absence:
+    total supervised units > total unsupervised units under the same
+    plans (asserted by the caller; see {!verdict}). *)
+
+val canary : string
+val contains_canary : bytes -> bool
+
+val rounds : int
+(** Units of work a fault-free service completes. *)
+
+val kconfig : Guest.Kernel.config
+(** Tight guest memory plus a metadata journal (seal generations must be
+    anchored for the stale-checkpoint invariant to mean anything). *)
+
+val policy : Guest.Kernel.restart_policy
+
+val soak_plan : seed:int -> Inject.plan
+(** The seed's chaos plan plus recurring lethal rules. [Seal_write] and
+    [Restore] rules are excluded (the harness's own post-run unseal probes
+    must observe staleness, not injected tampering; those sites are
+    covered deterministically by the seal tests). *)
+
+type seed_report = {
+  seed : int;
+  units_ff : int;        (** fault-free useful work *)
+  units_sup : int;       (** useful work, supervised, under faults *)
+  units_unsup : int;     (** useful work, unsupervised, same plan *)
+  restarts : int;
+  circuit_breaks : int;
+  checkpoints : int;
+  recovery_cycles : int;
+  failures : string list;  (** broken invariants; empty = seed passed *)
+}
+
+type verdict = {
+  seeds_run : int;
+  availability_sup : float;  (** mean % of fault-free useful work *)
+  availability_unsup : float;
+  mttr_cycles : float;       (** mean recovery cycles per restart *)
+  total_restarts : int;
+  total_circuit_breaks : int;
+  total_checkpoints : int;
+  total_units_sup : int;
+  total_units_unsup : int;
+  reports : seed_report list;
+  failures : (int * string) list;  (** (seed, broken invariant) *)
+}
+
+val run_seed : seed:int -> seed_report
+(** Four runs (fault-free, supervised twice for determinism, unsupervised)
+    plus the invariant checks. *)
+
+val run_seeds :
+  ?progress:(seed_report -> unit) -> seeds:int list -> unit -> verdict
+
+val pp_seed_report : Format.formatter -> seed_report -> unit
+
+val summary_line : verdict -> string
+(** The one-line result: availability supervised vs unsupervised, MTTR,
+    restart and circuit-break counts. *)

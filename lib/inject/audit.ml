@@ -1,18 +1,37 @@
-type t = { mutable entries : string list; mutable seq : int }
+(* Bounded ring: a Queue of retained lines plus a count of evictions.
+   Sequence stamps come from the monotone [seq] so the retained window of
+   two same-seed runs is still comparable line-for-line even after the
+   ring has wrapped. *)
 
-let create () = { entries = []; seq = 0 }
+type t = {
+  ring : string Queue.t;
+  cap : int;
+  mutable seq : int;
+  mutable dropped : int;
+}
+
+let default_cap = 65536
+
+let create ?(cap = default_cap) () =
+  { ring = Queue.create (); cap = max 1 cap; seq = 0; dropped = 0 }
 
 let record t fmt =
   Format.kasprintf
     (fun line ->
-      t.entries <- Printf.sprintf "#%03d %s" t.seq line :: t.entries;
+      if Queue.length t.ring >= t.cap then begin
+        ignore (Queue.pop t.ring);
+        t.dropped <- t.dropped + 1
+      end;
+      Queue.push (Printf.sprintf "#%03d %s" t.seq line) t.ring;
       t.seq <- t.seq + 1)
     fmt
 
-let lines t = List.rev t.entries
+let lines t = List.of_seq (Queue.to_seq t.ring)
 let count t = t.seq
+let dropped t = t.dropped
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   List.iter (fun l -> Format.fprintf ppf "%s@," l) (lines t);
+  if t.dropped > 0 then Format.fprintf ppf "(… %d earlier entries dropped)@," t.dropped;
   Format.fprintf ppf "@]"

@@ -15,12 +15,14 @@ type site =
   | Meta_import
   | Jrnl_append
   | Jrnl_ckpt
+  | Seal_write
+  | Restore
 
 let all_sites =
   [
     Phys_alloc; Phys_write; Phys_free; Blk_alloc; Blk_read; Blk_write; Blk_free;
     Tlb_insert; Tlb_flush; Crypto_iv; Meta_export; Meta_import; Jrnl_append;
-    Jrnl_ckpt;
+    Jrnl_ckpt; Seal_write; Restore;
   ]
 
 let site_to_string = function
@@ -38,6 +40,8 @@ let site_to_string = function
   | Meta_import -> "meta-import"
   | Jrnl_append -> "jrnl-append"
   | Jrnl_ckpt -> "jrnl-ckpt"
+  | Seal_write -> "seal-write"
+  | Restore -> "restore"
 
 let site_of_string s =
   List.find_opt (fun site -> site_to_string site = s) all_sites
@@ -177,6 +181,11 @@ let menu =
     (Crypto_iv, [ (fun _ -> Reuse_iv) ]);
     (Meta_export, [ (fun r -> Torn_write (Oscrypto.Prng.int r 64)) ]);
     (Meta_import, [ (fun r -> Bit_flip (Oscrypto.Prng.int r 256)) ]);
+    (* Seal_write and Restore are deliberately absent: they only fire for
+       supervised processes, which the generic chaos workload does not
+       spawn — random rules against them would dilute plans to no effect.
+       Sealed-checkpoint tampering is exercised by explicit plans in the
+       seal tests and the attack suite. *)
   ]
 
 let random_plan ~seed =

@@ -34,6 +34,8 @@ type site =
   | Meta_import  (** protected-object metadata verification *)
   | Jrnl_append  (** metadata-journal record append *)
   | Jrnl_ckpt    (** metadata-journal checkpoint write *)
+  | Seal_write   (** sealed-checkpoint blob serialization *)
+  | Restore      (** sealed-checkpoint verification before a restore *)
 
 val all_sites : site list
 val site_to_string : site -> string

@@ -21,6 +21,10 @@ type t = {
   mutable contained : int;
   mutable quarantines : int;
   mutable io_retries : int;
+  mutable seal_checkpoints : int;
+  mutable seal_restores : int;
+  mutable restarts : int;
+  mutable circuit_breaks : int;
 }
 
 let create () =
@@ -47,6 +51,10 @@ let create () =
     contained = 0;
     quarantines = 0;
     io_retries = 0;
+    seal_checkpoints = 0;
+    seal_restores = 0;
+    restarts = 0;
+    circuit_breaks = 0;
   }
 
 let reset t =
@@ -71,7 +79,11 @@ let reset t =
   t.violations <- 0;
   t.contained <- 0;
   t.quarantines <- 0;
-  t.io_retries <- 0
+  t.io_retries <- 0;
+  t.seal_checkpoints <- 0;
+  t.seal_restores <- 0;
+  t.restarts <- 0;
+  t.circuit_breaks <- 0
 
 let snapshot t = { t with tlb_hits = t.tlb_hits }
 
@@ -99,6 +111,10 @@ let diff ~after ~before =
     contained = after.contained - before.contained;
     quarantines = after.quarantines - before.quarantines;
     io_retries = after.io_retries - before.io_retries;
+    seal_checkpoints = after.seal_checkpoints - before.seal_checkpoints;
+    seal_restores = after.seal_restores - before.seal_restores;
+    restarts = after.restarts - before.restarts;
+    circuit_breaks = after.circuit_breaks - before.circuit_breaks;
   }
 
 let rows t =
@@ -125,6 +141,10 @@ let rows t =
     ("contained", t.contained);
     ("quarantines", t.quarantines);
     ("io_retries", t.io_retries);
+    ("seal_checkpoints", t.seal_checkpoints);
+    ("seal_restores", t.seal_restores);
+    ("restarts", t.restarts);
+    ("circuit_breaks", t.circuit_breaks);
   ]
 
 let pp ppf t =

@@ -24,6 +24,10 @@ type t = {
   mutable contained : int;
   mutable quarantines : int;
   mutable io_retries : int;
+  mutable seal_checkpoints : int;
+  mutable seal_restores : int;
+  mutable restarts : int;
+  mutable circuit_breaks : int;
 }
 
 val create : unit -> t

@@ -45,6 +45,16 @@ let dispatch t (call : Abi.call) =
       shim_write t ~fd ~vaddr ~len
   | call -> t.direct call
 
+(* A checkpoint request is a quiesce-point hypercall: the shim rings the
+   VMM, then traps to the kernel so the supervisor captures while the
+   transfer context is saved. No buffers cross the cloak boundary. *)
+let checkpoint t =
+  Cloak.Vmm.hypercall (Uapi.env t.u).Abi.vmm;
+  match t.direct Abi.Checkpoint with
+  | Abi.Int gen -> gen
+  | Abi.Err e -> raise (Errno.Error e)
+  | _ -> invalid_arg "Shim.checkpoint: unexpected result shape"
+
 let store_uncloaked t data =
   if Bytes.length data > t.marshal_bytes then
     invalid_arg "Shim.store_uncloaked: larger than the marshal buffer";

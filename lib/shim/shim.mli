@@ -29,3 +29,8 @@ val direct_dispatch : t -> Guest.Abi.call -> Guest.Abi.value
 val store_uncloaked : t -> bytes -> Machine.Addr.vaddr
 (** Place host bytes into the marshal buffer and return its address
     (helper for protocol payloads that must be OS-visible). *)
+
+val checkpoint : t -> int
+(** Quiesce-point hypercall: ask the supervisor to capture a sealed
+    checkpoint now; returns the new seal generation. Raises
+    [Guest.Errno.Error EINVAL] for unsupervised processes. *)

@@ -173,6 +173,12 @@ let pipe t =
 let dup t fd = expect_int t (Abi.Dup fd)
 let sync t = expect_unit t Abi.Sync
 
+(* --- supervision --- *)
+
+let checkpoint t = expect_int t Abi.Checkpoint
+let restored t = t.env.Abi.restored
+let incarnation t = t.env.Abi.incarnation
+
 let bounce_buffer t len =
   if t.bounce_len < len then begin
     t.bounce <- malloc t len;

@@ -78,6 +78,21 @@ val pipe : t -> int * int
 val dup : t -> int -> int
 val sync : t -> unit
 
+(** {1 Supervision} *)
+
+val checkpoint : t -> int
+(** Ask the supervisor to capture a sealed checkpoint at this quiesce
+    point; returns the new seal generation. Raises [Errno.Error EINVAL]
+    for unsupervised processes. *)
+
+val restored : t -> bool
+(** True when this image was respawned from a sealed checkpoint:
+    restart-aware programs skip initialization and reattach to their
+    restored cloaked state instead. *)
+
+val incarnation : t -> int
+(** 0 on first spawn, then the supervisor's restart count. *)
+
 (** {1 Signals} *)
 
 val kill : t -> pid:int -> signum:int -> unit
