@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test chaos-smoke recovery soak ci clean
+.PHONY: all build test chaos-smoke recovery soak trace ci clean
 
 all: build
 
@@ -33,7 +33,15 @@ recovery: build
 soak: build
 	$(DUNE) exec bin/overshadow_cli.exe -- soak --seeds 20 --bench-out BENCH_availability.json
 
-ci: test chaos-smoke recovery soak
+# Flight-recorder overhead proof: run cloaked workloads under the null
+# sink and under a live ring and assert both add zero model cycles over
+# an untraced baseline; emits BENCH_trace_overhead.json. Also prints the
+# per-span-class latency decomposition for one workload as a smoke test.
+trace: build
+	$(DUNE) exec bin/overshadow_cli.exe -- trace-overhead --out BENCH_trace_overhead.json
+	$(DUNE) exec bin/overshadow_cli.exe -- trace fileio --cloaked
+
+ci: test chaos-smoke recovery soak trace
 
 clean:
 	$(DUNE) clean

@@ -8,6 +8,8 @@
      overshadow-cli recover --site blk-write  one crash + recovery replay, narrated
      overshadow-cli crash-matrix --seeds 20   every crash point x N seeds
      overshadow-cli soak --seeds 20           supervised availability soak
+     overshadow-cli trace fileio --cloaked    flight-recorder latency decomposition
+     overshadow-cli trace-overhead            prove the recorder costs zero model cycles
      overshadow-cli list                      what's available
 
    The benchmark tables (E1-E8) live in `dune exec bench/main.exe`. *)
@@ -261,6 +263,142 @@ let run_soak seeds base verbose bench_out =
       List.iter (fun (seed, what) -> Printf.printf "FAILED seed %d: %s\n" seed what) fails;
       1
 
+(* --- flight recorder --- *)
+
+(* A workload name is either "fileio" or a SPEC-style compute kernel. *)
+let traced_workload name =
+  if name = "fileio" then
+    Some
+      (fun ~cloaked ~scale:_ ~trace ->
+        let cfg = Workloads.Fileio.default in
+        Harness.run_program ~cloaked ~trace (Workloads.Fileio.run cfg ~use_shim:true))
+  else
+    match Workloads.Spec.find name with
+    | exception Not_found -> None
+    | kernel ->
+        Some
+          (fun ~cloaked ~scale ~trace ->
+            Harness.run_program ~cloaked ~trace (fun env ->
+                let u = Uapi.of_env env in
+                ignore (kernel.Workloads.Spec.run u ~scale)))
+
+let workload_names () =
+  "fileio" :: List.map (fun k -> k.Workloads.Spec.name) Workloads.Spec.kernels
+
+let run_trace name cloaked scale json_out =
+  match traced_workload name with
+  | None ->
+      Printf.eprintf "unknown workload %s (try: %s)\n" name
+        (String.concat ", " (workload_names ()));
+      1
+  | Some run ->
+      let trace = Trace.ring () in
+      let result = run ~cloaked ~scale ~trace in
+      Printf.printf "workload : %s (scale %d, %s)\n" name scale
+        (if cloaked then "cloaked" else "native");
+      Printf.printf "cycles   : %s\n" (Harness.Table.cycles result.Harness.cycles);
+      Printf.printf "events   : %d recorded, %d dropped (ring capacity %d)\n"
+        (Trace.count trace) (Trace.dropped trace) (Trace.capacity trace);
+      Format.printf "%a@." Trace.pp_decomposition trace;
+      (match json_out with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Trace.to_chrome_json trace);
+          close_out oc;
+          Printf.printf "wrote %s (load in chrome://tracing or Perfetto)\n" path);
+      if Trace.Check.truncated trace then begin
+        Printf.printf
+          "invariant pass skipped: ring truncated (%d events dropped) — raise the \
+           capacity to check this run\n"
+          (Trace.dropped trace);
+        if Harness.all_exited_zero result then 0 else 1
+      end
+      else begin
+        match Trace.Check.verdict trace with
+        | [] ->
+            Printf.printf
+              "trace invariants held: MAC-before-decrypt, scrub-before-free, \
+               bump-before-restore, owner-only plaintext\n";
+            if Harness.all_exited_zero result then 0 else 1
+        | fails ->
+            List.iter (fun f -> Printf.printf "TRACE INVARIANT FAILED: %s\n" f) fails;
+            1
+      end
+
+let run_trace_overhead out =
+  let workloads =
+    [ ("fileio", true, 1);
+      ((List.hd Workloads.Spec.kernels).Workloads.Spec.name, true, 1) ]
+  in
+  let timed f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, Sys.time () -. t0)
+  in
+  let rows, ok =
+    List.fold_left
+      (fun (rows, ok) (name, cloaked, scale) ->
+        let run = Option.get (traced_workload name) in
+        let baseline, base_s = timed (fun () -> run ~cloaked ~scale ~trace:Trace.null) in
+        let null_r, null_s = timed (fun () -> run ~cloaked ~scale ~trace:Trace.null) in
+        let ring = Trace.ring () in
+        let ring_r, ring_s = timed (fun () -> run ~cloaked ~scale ~trace:ring) in
+        let null_d = null_r.Harness.cycles - baseline.Harness.cycles in
+        let ring_d = ring_r.Harness.cycles - baseline.Harness.cycles in
+        Printf.printf
+          "%-10s baseline %s | null sink %+d cy | ring sink %+d cy (%d events)\n"
+          name
+          (Harness.Table.cycles baseline.Harness.cycles)
+          null_d ring_d (Trace.count ring);
+        let row =
+          Printf.sprintf
+            "    {\n\
+            \      \"workload\": \"%s\",\n\
+            \      \"baseline_cycles\": %d,\n\
+            \      \"null_sink_cycles\": %d,\n\
+            \      \"ring_sink_cycles\": %d,\n\
+            \      \"null_sink_delta_cycles\": %d,\n\
+            \      \"ring_sink_delta_cycles\": %d,\n\
+            \      \"ring_events\": %d,\n\
+            \      \"baseline_wall_s\": %.6f,\n\
+            \      \"null_sink_wall_s\": %.6f,\n\
+            \      \"ring_sink_wall_s\": %.6f\n\
+            \    }"
+            name baseline.Harness.cycles null_r.Harness.cycles ring_r.Harness.cycles
+            null_d ring_d (Trace.count ring) base_s null_s ring_s
+        in
+        (row :: rows, ok && null_d = 0 && ring_d = 0))
+      ([], true) workloads
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"trace_overhead\",\n\
+      \  \"workloads\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"zero_model_cycle_overhead\": %b\n\
+       }\n"
+      (String.concat ",\n" (List.rev rows))
+      ok
+  in
+  (match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+  if ok then begin
+    Printf.printf "trace sinks added zero model cycles on every workload\n";
+    0
+  end
+  else begin
+    Printf.printf "FAILED: a trace sink perturbed the cost model\n";
+    1
+  end
+
 let run_list () =
   Printf.printf "compute kernels:\n";
   List.iter (fun k -> Printf.printf "  %s\n" k.Workloads.Spec.name) Workloads.Spec.kernels;
@@ -392,6 +530,46 @@ let soak_cmd =
           rejection and audit determinism.")
     Term.(const run_soak $ seeds_arg $ base_arg $ verbose_arg $ bench_out_arg)
 
+let trace_cmd =
+  let workload_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload: $(b,fileio) or a compute kernel name.")
+  in
+  let scale_arg =
+    Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc:"Problem size multiplier.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Export the event stream as Chrome trace_event JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a workload under the flight recorder: print the per-span-class \
+          latency decomposition (count, total cycles, p50/p95/p99), check the \
+          trace-ordering invariants, and optionally export a Chrome trace.")
+    Term.(const run_trace $ workload_arg $ cloaked_flag $ scale_arg $ json_arg)
+
+let trace_overhead_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write a JSON benchmark summary to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "trace-overhead"
+       ~doc:
+         "Prove the flight recorder is free in the cost model: run workloads with \
+          the null sink and a live ring and assert the model cycle counts are \
+          identical to the untraced baseline.")
+    Term.(const run_trace_overhead $ out_arg)
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available kernels and attacks.") Term.(const run_list $ const ())
 
@@ -404,4 +582,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ kernel_cmd; attack_cmd; counters_cmd; chaos_cmd; recover_cmd; crash_matrix_cmd;
-            soak_cmd; list_cmd ]))
+            soak_cmd; trace_cmd; trace_overhead_cmd; list_cmd ]))

@@ -166,6 +166,7 @@ type t = {
   store : store;
   key : bytes;
   engine : Inject.t option;
+  trace : Trace.t;
   geom : geom;
   st : state;
   log_buf : bytes;  (* in-memory mirror of the log region *)
@@ -295,7 +296,26 @@ let write_superblock t ~epoch ~slot ~len =
   Bytes.blit tag 0 blk (Bytes.length header) 32;
   bwrite t (epoch mod 2) blk
 
-let checkpoint t =
+let event_label = function
+  | Update _ -> "update"
+  | Intent _ -> "intent"
+  | Commit _ -> "commit"
+  | Freed _ -> "freed"
+  | Dropped_page _ -> "drop-page"
+  | Dropped_resource _ -> "drop-resource"
+  | Generation _ -> "generation"
+  | Seal _ -> "seal"
+
+let rec checkpoint t =
+  Trace.span_enter t.trace ~ctx:Trace.Vmm Trace.Journal_ckpt;
+  match checkpoint_body t with
+  | () -> Trace.span_exit t.trace ~ctx:Trace.Vmm ~aux:t.epoch Trace.Journal_ckpt
+  | exception ex ->
+      (* a Jrnl_ckpt crash injection unwinds mid-checkpoint *)
+      Trace.span_abort t.trace Trace.Journal_ckpt;
+      raise ex
+
+and checkpoint_body t =
   t.ckpts <- t.ckpts + 1;
   let epoch' = t.epoch + 1 in
   let slot = epoch' mod 2 in
@@ -342,7 +362,21 @@ let flush_log_range t ~from ~len =
 
 let log_capacity t = t.geom.log_blocks * t.store.block_size
 
-let record t event =
+let rec record t event =
+  Trace.span_enter t.trace ~ctx:Trace.Vmm
+    ~site:(if Trace.enabled t.trace then event_label event else "")
+    Trace.Journal_append;
+  match record_body t event with
+  | () ->
+      Trace.span_exit t.trace ~ctx:Trace.Vmm
+        ~site:(if Trace.enabled t.trace then event_label event else "")
+        Trace.Journal_append
+  | exception ex ->
+      (* a Jrnl_append crash injection unwinds mid-append *)
+      Trace.span_abort t.trace Trace.Journal_append;
+      raise ex
+
+and record_body t event =
   let body = body_of_event event in
   let frame_len = 8 + String.length body + 32 in
   if frame_len > log_capacity t then invalid_arg "Journal: record larger than the log";
@@ -477,7 +511,7 @@ let load ~key store =
 
 (* --- writer construction --- *)
 
-let attach ?engine ?(ckpt_every = 64) ~key store =
+let attach ?engine ?(trace = Trace.null) ?(ckpt_every = 64) ~key store =
   let geom = geometry store in
   let loaded = load ~key store in
   let t =
@@ -485,6 +519,7 @@ let attach ?engine ?(ckpt_every = 64) ~key store =
       store;
       key;
       engine;
+      trace;
       geom;
       st = loaded.rstate;
       log_buf = Bytes.make (geom.log_blocks * store.block_size) '\000';

@@ -80,10 +80,11 @@ type state = {
 type t
 
 val attach :
-  ?engine:Inject.t -> ?ckpt_every:int -> key:bytes -> store -> t
+  ?engine:Inject.t -> ?trace:Trace.t -> ?ckpt_every:int -> key:bytes -> store -> t
 (** Open the journal for writing: load whatever previous state survives on
     the store, then start a fresh epoch by checkpointing it. [ckpt_every]
-    is the compaction cadence in records (default 64). Probes [engine] at
+    is the compaction cadence in records (default 64). With [trace], every
+    append and checkpoint is recorded as a flight-recorder span. Probes [engine] at
     the [Jrnl_append] and [Jrnl_ckpt] hook points; a [Crash_point] drawn
     there tears the write in progress and raises {!Inject.Vmm_crash}.
     Raises [Invalid_argument] if the store is smaller than {!min_blocks}. *)

@@ -35,7 +35,25 @@ let render_regs (r : Transfer.regs) =
 
 (* --- capture --- *)
 
-let capture vmm ~resource ~regs ~layout ~read_page =
+let rec capture vmm ~resource ~regs ~layout ~read_page =
+  let tr = Vmm.trace vmm in
+  Trace.span_enter tr ~ctx:Trace.Vmm
+    ~site:(if Trace.enabled tr then Resource.tag resource else "")
+    Trace.Seal_capture;
+  match capture_body vmm ~resource ~regs ~layout ~read_page with
+  | blob ->
+      if Trace.enabled tr then begin
+        let tag = Resource.tag resource in
+        Trace.span_exit tr ~ctx:Trace.Vmm ~site:tag
+          ~aux:(Vmm.seal_generation vmm ~tag) Trace.Seal_capture
+      end;
+      blob
+  | exception ex ->
+      (* an aborted capture (torn frame, injection) unwinds mid-span *)
+      Trace.span_abort tr Trace.Seal_capture;
+      raise ex
+
+and capture_body vmm ~resource ~regs ~layout ~read_page =
   check_layout layout;
   (* force every plaintext page to ciphertext: the blob must hold exactly
      what the OS is allowed to see *)
@@ -143,7 +161,21 @@ let parse_regs ~pc ~sp ~gp =
       | None -> None)
   | _ -> None
 
-let unseal vmm blob =
+let rec unseal vmm blob =
+  let tr = Vmm.trace vmm in
+  Trace.span_enter tr ~ctx:Trace.Vmm Trace.Seal_restore;
+  match unseal_body vmm blob with
+  | r ->
+      Trace.span_exit tr ~ctx:Trace.Vmm
+        ~site:(if Trace.enabled tr then Resource.tag r.resource else "")
+        ~aux:r.gen Trace.Seal_restore;
+      r
+  | exception ex ->
+      (* forged/stale blobs unwind as violations mid-span *)
+      Trace.span_abort tr Trace.Seal_restore;
+      raise ex
+
+and unseal_body vmm blob =
   (* hostile world: the blob may have been corrupted at rest *)
   let blob =
     match Inject.fire_opt (Vmm.engine vmm) Inject.Restore with

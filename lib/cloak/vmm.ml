@@ -34,6 +34,7 @@ type t = {
   cfg : config;
   mem : Phys_mem.t;
   cost : Cost.t;
+  trace : Trace.t;  (* flight recorder; Trace.null unless the host opts in *)
   counters : Counters.t;
   tlb : Tlb.t;
   page_key : Oscrypto.Aes.key;   (* VMM secret: page encryption *)
@@ -57,12 +58,19 @@ type t = {
   quarantined : (Resource.t, Violation.kind) Hashtbl.t;
 }
 
-let create ?(config = default_config) ?engine () =
+let create ?(config = default_config) ?engine ?(trace = Trace.null) () =
   let prng = Oscrypto.Prng.create ~seed:config.seed in
+  let cost = Cost.create ~model:config.cost_model () in
+  (* the flight recorder stamps events with the deterministic model clock,
+     never wall time — same seed, same trace *)
+  Trace.set_clock trace (fun () -> Cost.cycles cost);
+  let mem = Phys_mem.create ?engine ~pages:config.mem_pages () in
+  Phys_mem.set_trace mem trace;
   {
     cfg = config;
-    mem = Phys_mem.create ?engine ~pages:config.mem_pages ();
-    cost = Cost.create ~model:config.cost_model ();
+    mem;
+    cost;
+    trace;
     counters = Counters.create ();
     tlb = Tlb.create ?engine ~slots:config.tlb_slots ();
     page_key = Oscrypto.Aes.expand (Oscrypto.Prng.bytes prng 16);
@@ -95,6 +103,11 @@ let counters t = t.counters
 let mem t = t.mem
 let engine t = t.engine
 let audit t = t.audit
+let trace t = t.trace
+
+(* Payload strings are only worth building when a live sink will keep
+   them; the null path must stay allocation-free. *)
+let rtag t resource = if Trace.enabled t.trace then Resource.tag resource else ""
 
 (* --- crash-consistent metadata journal --- *)
 
@@ -110,15 +123,21 @@ let journal_key t = Oscrypto.Hmac.mac ~key:t.mac_key (Bytes.of_string "journal-k
 let seal_key t = Oscrypto.Hmac.mac ~key:t.mac_key (Bytes.of_string "seal-key")
 
 let attach_journal ?ckpt_every t ~store =
-  let j = Journal.attach ?engine:t.engine ?ckpt_every ~key:(journal_key t) store in
+  let j =
+    Journal.attach ?engine:t.engine ~trace:t.trace ?ckpt_every
+      ~key:(journal_key t) store
+  in
   t.journal <- Some j;
   (* inherit the seal freshness the journal proved durable, so checkpoints
-     sealed before a crash cannot be replayed as fresh after it *)
+     sealed before a crash cannot be replayed as fresh after it; the trace
+     records the inherited bump so a later restore is provably ordered *)
   Hashtbl.iter
     (fun tag gen ->
       match Hashtbl.find_opt t.seal_gens tag with
       | Some cur when cur >= gen -> ()
-      | _ -> Hashtbl.replace t.seal_gens tag gen)
+      | _ ->
+          Hashtbl.replace t.seal_gens tag gen;
+          Trace.emit t.trace ~ctx:Trace.Vmm ~site:tag ~aux:gen Trace.Seal_gen_bump)
     (Journal.state j).Journal.seals;
   j
 
@@ -213,29 +232,43 @@ let charge_copy t ~bytes_count =
   charge t ((Cost.model t.cost).copy_word * ((bytes_count + 7) / 8));
   t.counters.bytes_copied <- t.counters.bytes_copied + bytes_count
 
+(* The boundary-crossing charges double as trace spans: enter before the
+   charge, exit after, so each span's latency is exactly the model cost it
+   contributed — the per-class totals reconstruct the E4 decomposition. *)
+
 let hypercall t =
+  Trace.span_enter t.trace Trace.Hypercall;
   t.counters.hypercalls <- t.counters.hypercalls + 1;
-  charge t (Cost.model t.cost).hypercall
+  charge t (Cost.model t.cost).hypercall;
+  Trace.span_exit t.trace Trace.Hypercall
 
 let world_switch t =
+  Trace.span_enter t.trace Trace.World_switch;
   t.counters.world_switches <- t.counters.world_switches + 1;
-  charge t (Cost.model t.cost).world_switch
+  charge t (Cost.model t.cost).world_switch;
+  Trace.span_exit t.trace Trace.World_switch
 
 let syscall_trap t =
+  Trace.span_enter t.trace Trace.Syscall_trap;
   t.counters.syscalls <- t.counters.syscalls + 1;
-  charge t (Cost.model t.cost).syscall_trap
+  charge t (Cost.model t.cost).syscall_trap;
+  Trace.span_exit t.trace Trace.Syscall_trap
 
 let timer_tick t =
   t.counters.timer_ticks <- t.counters.timer_ticks + 1;
   charge t (Cost.model t.cost).timer_interrupt
 
 let guest_fault_charge t =
+  Trace.span_enter t.trace Trace.Guest_fault;
   t.counters.guest_faults <- t.counters.guest_faults + 1;
-  charge t (Cost.model t.cost).guest_fault
+  charge t (Cost.model t.cost).guest_fault;
+  Trace.span_exit t.trace Trace.Guest_fault
 
 let hidden_fault t =
+  Trace.span_enter t.trace Trace.Hidden_fault;
   t.counters.hidden_faults <- t.counters.hidden_faults + 1;
-  charge t (Cost.model t.cost).hidden_fault
+  charge t (Cost.model t.cost).hidden_fault;
+  Trace.span_exit t.trace Trace.Hidden_fault
 
 (* --- address spaces --- *)
 
@@ -381,7 +414,19 @@ let effective t (ctx : Context.t) =
 
 let page_bytes t mpn = Phys_mem.page t.mem mpn
 
-let encrypt_page ?(reuse = false) t resource idx (e : Metadata.entry) mpn =
+let rec encrypt_page ?(reuse = false) t resource idx (e : Metadata.entry) mpn =
+  Trace.span_enter t.trace ~ctx:Trace.Vmm ~page:idx ~pid:mpn ~site:(rtag t resource)
+    ~aux:e.version Trace.Page_encrypt;
+  (match encrypt_page_body ~reuse t resource idx e mpn with
+  | () ->
+      Trace.span_exit t.trace ~ctx:Trace.Vmm ~page:idx ~pid:mpn
+        ~site:(rtag t resource) ~aux:e.version Trace.Page_encrypt
+  | exception ex ->
+      Trace.span_abort t.trace Trace.Page_encrypt;
+      raise ex);
+  unmap_view t resource idx Context.App
+
+and encrypt_page_body ~reuse t resource idx (e : Metadata.entry) mpn =
   let plain = page_bytes t mpn in
   if reuse then begin
     (* the page is unmodified since its last encryption: CTR with the same
@@ -420,8 +465,7 @@ let encrypt_page ?(reuse = false) t resource idx (e : Metadata.entry) mpn =
     t.counters.page_encryptions <- t.counters.page_encryptions + 1;
     t.counters.hash_computes <- t.counters.hash_computes + 1;
     Cost.charge_crypto_page t.cost ~bytes_count:Addr.page_size ~hash:true
-  end;
-  unmap_view t resource idx Context.App
+  end
 
 (* Does [cipher] match the entry's authenticated {iv,mac,version}? Used by
    checkpoint capture to refuse sealing a frame the (hostile) RAM tore or
@@ -430,10 +474,28 @@ let encrypt_page ?(reuse = false) t resource idx (e : Metadata.entry) mpn =
 let authenticate_cipher t resource idx (e : Metadata.entry) ~cipher =
   t.counters.hash_checks <- t.counters.hash_checks + 1;
   Cost.charge_crypto_page t.cost ~bytes_count:Addr.page_size ~hash:true;
-  Oscrypto.Hmac.verify ~key:t.mac_key ~tag:e.mac
-    (Metadata.mac_input ~resource ~idx ~version:e.version ~iv:e.iv ~cipher)
+  let ok =
+    Oscrypto.Hmac.verify ~key:t.mac_key ~tag:e.mac
+      (Metadata.mac_input ~resource ~idx ~version:e.version ~iv:e.iv ~cipher)
+  in
+  if ok then
+    Trace.emit t.trace ~ctx:Trace.Vmm ~page:idx ~site:(rtag t resource)
+      ~aux:e.version Trace.Mac_check;
+  ok
 
-let decrypt_page t resource idx (e : Metadata.entry) mpn =
+let rec decrypt_page t resource idx (e : Metadata.entry) mpn =
+  Trace.span_enter t.trace ~ctx:Trace.Vmm ~page:idx ~pid:mpn ~site:(rtag t resource)
+    ~aux:e.version Trace.Page_decrypt;
+  (match decrypt_page_body t resource idx e mpn with
+  | () ->
+      Trace.span_exit t.trace ~ctx:Trace.Vmm ~page:idx ~pid:mpn
+        ~site:(rtag t resource) ~aux:e.version Trace.Page_decrypt
+  | exception ex ->
+      Trace.span_abort t.trace Trace.Page_decrypt;
+      raise ex);
+  unmap_view t resource idx Context.Sys
+
+and decrypt_page_body t resource idx (e : Metadata.entry) mpn =
   let cipher = Bytes.copy (page_bytes t mpn) in
   t.counters.hash_checks <- t.counters.hash_checks + 1;
   Cost.charge_crypto_page t.cost ~bytes_count:Addr.page_size ~hash:true;
@@ -444,11 +506,12 @@ let decrypt_page t resource idx (e : Metadata.entry) mpn =
     violate t ~resource Integrity
       "page %d of %s fails authentication at version %d (tampered or rolled back)"
       idx (Resource.tag resource) e.version;
+  Trace.emit t.trace ~ctx:Trace.Vmm ~page:idx ~pid:mpn ~site:(rtag t resource)
+    ~aux:e.version Trace.Mac_check;
   let plain = Oscrypto.Aes.ctr_transform t.page_key ~iv:e.iv cipher in
   Phys_mem.load_page t.mem mpn plain;
   e.state <- Plain { home = mpn; clean = t.cfg.clean_reencrypt };
-  t.counters.page_decryptions <- t.counters.page_decryptions + 1;
-  unmap_view t resource idx Context.Sys
+  t.counters.page_decryptions <- t.counters.page_decryptions + 1
 
 (* Bring a cloaked page into the representation required by [view], raising
    a security fault when the OS has moved, discarded or corrupted it.
@@ -460,6 +523,8 @@ let cloak_prepare t ~(view : Context.view) ~(access : Fault.access) ~resource ~i
   | Context.App, Metadata.Zero ->
       Bytes.fill (page_bytes t mpn) 0 Addr.page_size '\000';
       e.state <- Plain { home = mpn; clean = false };
+      Trace.emit t.trace ~ctx:Trace.Vmm ~page:idx ~pid:mpn
+        ~site:(rtag t resource) Trace.Page_zero;
       true
   | Context.App, Plain ({ home; _ } as p) ->
       if home <> mpn then
@@ -497,7 +562,19 @@ let cloak_prepare t ~(view : Context.view) ~(access : Fault.access) ~resource ~i
 
 (* --- translation --- *)
 
-let fill t (ctx : Context.t) access vpn table sid =
+let rec fill t (ctx : Context.t) access vpn table sid =
+  Trace.span_enter t.trace ~page:vpn Trace.Shadow_fill;
+  match fill_body t ctx access vpn table sid with
+  | mpn ->
+      Trace.span_exit t.trace ~page:vpn ~pid:mpn Trace.Shadow_fill;
+      mpn
+  | exception ex ->
+      (* guest faults unwind through here routinely; drop the open span so
+         a later fill cannot pair against it *)
+      Trace.span_abort t.trace Trace.Shadow_fill;
+      raise ex
+
+and fill_body t (ctx : Context.t) access vpn table sid =
   t.counters.shadow_walks <- t.counters.shadow_walks + 1;
   (* constructing a shadow entry is a VMM trap, much costlier than the
      hardware walk already charged by [translate] *)
@@ -521,7 +598,14 @@ let fill t (ctx : Context.t) access vpn table sid =
         match resource_at t ~asid:ctx.asid ~vpn with
         | Some (resource, idx) ->
             Hashtbl.replace t.bound pte.ppn (resource, idx);
-            cloak_prepare t ~view:ctx.view ~access ~resource ~idx ~mpn
+            let cap = cloak_prepare t ~view:ctx.view ~access ~resource ~idx ~mpn in
+            (* the shadow entry built below hands this context plaintext;
+               the invariant pass asserts only owners ever get one *)
+            if ctx.view = Context.App && Trace.enabled t.trace then
+              Trace.emit t.trace ~ctx:(Trace.Cloaked ctx.asid) ~page:idx
+                ~pid:(match resource with Resource.Anon a -> a | Shm _ -> -1)
+                ~site:(rtag t resource) Trace.Plaintext_access;
+            cap
         | None -> true
       in
       let spte = { mpn; writable = pte.writable && writable_cap } in
@@ -538,7 +622,9 @@ let translate t ~ctx ~access ~vpn =
       e.mpn
   | Some _ | None -> (
       t.counters.tlb_misses <- t.counters.tlb_misses + 1;
+      Trace.span_enter t.trace ~page:vpn Trace.Shadow_walk;
       charge t (Cost.model t.cost).shadow_walk;
+      Trace.span_exit t.trace ~page:vpn Trace.Shadow_walk;
       let table = shadow t ctx in
       match Hashtbl.find_opt table vpn with
       | Some spte when access = Fault.Read || spte.writable ->
@@ -643,6 +729,10 @@ let switch_to t ctx =
   | Some c when Context.equal c ctx -> ()
   | _ ->
       t.current <- Some ctx;
+      Trace.set_ctx t.trace
+        (if ctx.view = Context.App && cloak_active t ctx.asid then
+           Trace.Cloaked ctx.asid
+         else Trace.Kernel);
       t.counters.context_switches <- t.counters.context_switches + 1;
       world_switch t;
       if not t.cfg.multi_shadow then begin
@@ -656,10 +746,12 @@ let switch_to t ctx =
 
 let uncloak_resource t resource =
   journal_drop_resource t resource;
-  Metadata.iter_resource t.meta resource (fun _idx e ->
+  Metadata.iter_resource t.meta resource (fun idx e ->
       match e.state with
       | Plain { home; _ } when Phys_mem.allocated t.mem home ->
-          Bytes.fill (page_bytes t home) 0 Addr.page_size '\000'
+          Bytes.fill (page_bytes t home) 0 Addr.page_size '\000';
+          Trace.emit t.trace ~ctx:Trace.Vmm ~page:idx ~pid:home
+            ~site:(rtag t resource) Trace.Frame_scrub
       | Plain _ | Zero | Encrypted -> ());
   Metadata.drop_resource t.meta resource;
   Hashtbl.iter
@@ -683,6 +775,7 @@ let quarantine t resource kind =
     Inject.Audit.record t.audit "quarantine resource=%s after [%s]"
       (Resource.tag resource)
       (Violation.kind_to_string kind);
+    Trace.emit t.trace ~ctx:Trace.Vmm ~site:(rtag t resource) Trace.Quarantine;
     uncloak_resource t resource
   end
 
@@ -703,7 +796,9 @@ let drop_cloaked_pages t resource ~base_idx ~pages =
     journal_drop_page t resource idx;
     (match Metadata.find t.meta resource idx with
     | Some { state = Plain { home; _ }; _ } when Phys_mem.allocated t.mem home ->
-        Bytes.fill (page_bytes t home) 0 Addr.page_size '\000'
+        Bytes.fill (page_bytes t home) 0 Addr.page_size '\000';
+        Trace.emit t.trace ~ctx:Trace.Vmm ~page:idx ~pid:home
+          ~site:(rtag t resource) Trace.Frame_scrub
     | Some _ | None -> ());
     Metadata.remove t.meta resource idx
   done
@@ -715,6 +810,29 @@ let seal_resource t resource =
           hidden_fault t;
           encrypt_page ~reuse:(clean && t.cfg.clean_reencrypt) t resource idx e home
       | Zero | Encrypted -> ())
+
+(* A dying (or exec-ing) cloaked address space may hold protected-object
+   (shm) plaintext in guest frames the kernel is about to free. Re-encrypt
+   it in place: the object's durable representation survives (it may be
+   mapped elsewhere or re-opened later), and frame remanence can only ever
+   expose ciphertext. The per-process anon resource is scrubbed separately
+   by [uncloak_resource]; quarantined resources were already scrubbed when
+   they were condemned. *)
+let seal_asid_shm t ~asid =
+  match Hashtbl.find_opt t.ranges asid with
+  | None -> ()
+  | Some l ->
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun r ->
+          match r.resource with
+          | Resource.Shm _
+            when (not (Hashtbl.mem seen r.resource))
+                 && not (Hashtbl.mem t.quarantined r.resource) ->
+              Hashtbl.add seen r.resource ();
+              seal_resource t r.resource
+          | Resource.Shm _ | Resource.Anon _ -> ())
+        !l
 
 let clone_cloaked t ~src_asid ~dst_asid =
   let src = Resource.Anon src_asid and dst = Resource.Anon dst_asid in
@@ -933,12 +1051,16 @@ let seal_generation t ~tag =
 let bump_seal_generation t ~tag =
   let gen = seal_generation t ~tag + 1 in
   Hashtbl.replace t.seal_gens tag gen;
+  Trace.emit t.trace ~ctx:Trace.Vmm ~site:tag ~aux:gen Trace.Seal_gen_bump;
   (match t.journal with
   | Some j -> Journal.record j (Seal { tag; gen })
   | None -> ());
   gen
 
 let restore_seal_generation t ~tag ~gen =
-  if gen > seal_generation t ~tag then Hashtbl.replace t.seal_gens tag gen
+  if gen > seal_generation t ~tag then begin
+    Hashtbl.replace t.seal_gens tag gen;
+    Trace.emit t.trace ~ctx:Trace.Vmm ~site:tag ~aux:gen Trace.Seal_gen_bump
+  end
 
 let fold_meta t resource f init = Metadata.fold_resource t.meta resource f init

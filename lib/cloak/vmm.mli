@@ -37,10 +37,16 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> ?engine:Inject.t -> unit -> t
+val create : ?config:config -> ?engine:Inject.t -> ?trace:Trace.t -> unit -> t
 (** With [engine], every hostile-world hook point (machine memory, TLB,
     IV generation, metadata persistence) is subject to the engine's fault
-    plan, and injections share the VMM's audit trail. *)
+    plan, and injections share the VMM's audit trail.
+
+    With [trace], every boundary crossing (world switch, shadow walk/fill,
+    hidden/guest fault, hypercall, page crypto, journal, seal, frame
+    lifecycle) is recorded in the flight recorder, stamped with the
+    deterministic model clock. Defaults to {!Trace.null}, which records
+    nothing and charges zero model cycles. *)
 
 val config : t -> config
 val cost : t -> Cost.t
@@ -51,6 +57,10 @@ val audit : t -> Inject.Audit.t
 (** Deterministic per-VMM event trail: every injection, violation and
     quarantine in the order it happened. Identical seeds must reproduce
     identical trails — the chaos harness asserts this. *)
+
+val trace : t -> Trace.t
+(** The flight recorder this VMM (and everything attached to it — journal,
+    seals, block devices, physical memory) emits into. *)
 
 (** {1 Address spaces} *)
 
@@ -142,6 +152,13 @@ val drop_cloaked_pages : t -> Resource.t -> base_idx:int -> pages:int -> unit
 val seal_resource : t -> Resource.t -> unit
 (** Force every plaintext page of the resource to the encrypted state so
     the guest kernel can persist a consistent ciphertext image. *)
+
+val seal_asid_shm : t -> asid:int -> unit
+(** Re-encrypt the plaintext pages of every (non-quarantined) shared
+    resource cloaked into the address space. The kernel calls this before
+    tearing an address space down: the frames it is about to free must
+    hold only ciphertext, or remanence would expose protected-object
+    plaintext the moment the frames are reused. *)
 
 val clone_cloaked : t -> src_asid:int -> dst_asid:int -> unit
 (** Cloaked fork support: after the guest kernel has copied the (encrypted)

@@ -84,7 +84,11 @@ let free_block t b =
 let charge_disk t =
   Cloak.Vmm.charge t.vmm (Cost.model (Cloak.Vmm.cost t.vmm)).disk_op
 
-let read_block t b ~ppn =
+let rec read_block t b ~ppn =
+  Trace.with_span (Cloak.Vmm.trace t.vmm) ~page:b ~site:t.name Trace.Disk_read
+    (fun () -> read_block_body t b ~ppn)
+
+and read_block_body t b ~ppn =
   check t ~op:"read" ~data_path:true b;
   let action = Inject.fire_opt (engine t) Inject.Blk_read in
   (match action with
@@ -101,7 +105,11 @@ let read_block t b ~ppn =
         (Bytes.sub t.store.(b) 0 (max 0 (min n Addr.page_size)))
   | Some _ | None -> Cloak.Vmm.phys_write t.vmm ppn ~off:0 t.store.(b)
 
-let write_block t b ~ppn =
+let rec write_block t b ~ppn =
+  Trace.with_span (Cloak.Vmm.trace t.vmm) ~page:b ~site:t.name Trace.Disk_write
+    (fun () -> write_block_body t b ~ppn)
+
+and write_block_body t b ~ppn =
   check t ~op:"write" ~data_path:true b;
   let action = Inject.fire_opt (engine t) Inject.Blk_write in
   (match action with
@@ -144,7 +152,11 @@ let write_block t b ~ppn =
           Bytes.blit data 0 t.store.(b) 0 Addr.page_size;
           Cloak.Vmm.journal_dma t.vmm `Commit ppn ~dev:t.name ~block:b)
 
-let write_raw t b data =
+let rec write_raw t b data =
+  Trace.with_span (Cloak.Vmm.trace t.vmm) ~page:b ~site:t.name Trace.Disk_write
+    (fun () -> write_raw_body t b data)
+
+and write_raw_body t b data =
   check t ~op:"write-raw" ~data_path:false b;
   if Bytes.length data <> Addr.page_size then
     invalid_arg "Blockdev.write_raw: data must be one block";

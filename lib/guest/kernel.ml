@@ -494,6 +494,7 @@ let rec respawn t pid sup status =
     c.restarts <- c.restarts + 1;
     Cloak.Vmm.charge t.vmm (sup.policy.backoff_cycles * (1 lsl attempt));
     audit "supervisor restart pid=%d attempt=%d exit=%d" pid attempt status;
+    Trace.emit (Cloak.Vmm.trace t.vmm) ~pid ~aux:attempt Trace.Restart;
     Cloak.Vmm.absolve t.vmm (Cloak.Resource.Anon pid);
     (* Build the new incarnation. Machine-level failures mid-construction
        (an exhausted allocator, a dying swap device) are contained by
@@ -581,8 +582,11 @@ and do_exit t proc status =
     let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) proc.fds [] in
     List.iter (fun fd -> ignore (close_fd t proc fd)) fds;
     (* scrub cloaked plaintext while its pages are still allocated: freeing
-       first would let a failed scrub leave plaintext in a reusable frame *)
+       first would let a failed scrub leave plaintext in a reusable frame.
+       Shared (protected-object) plaintext is re-encrypted, not scrubbed —
+       the object outlives the process *)
     if proc.env.cloaked then begin
+      Cloak.Vmm.seal_asid_shm t.vmm ~asid:proc.pid;
       Cloak.Vmm.uncloak_resource t.vmm (anon_resource proc);
       Cloak.Transfer.discard t.transfer ~asid:proc.pid ~tid:proc.pid
     end;
@@ -1083,7 +1087,10 @@ let sys_fork t proc child_prog =
 
 let sys_exec t proc prog cloak =
   (* tear the image down, keep the fd table (POSIX exec semantics);
-     scrub cloaked plaintext before the frames are freed *)
+     scrub cloaked plaintext before the frames are freed — shared
+     (protected-object) plaintext is re-encrypted while its ranges are
+     still registered *)
+  if proc.env.cloaked then Cloak.Vmm.seal_asid_shm t.vmm ~asid:proc.pid;
   List.iter
     (fun (a : area) ->
       if a.cloaked_area && a.pages > 0 then
@@ -1244,7 +1251,48 @@ let transfer_abandon t proc =
     Cloak.Transfer.discard t.transfer ~asid:proc.pid ~tid:proc.pid
   end
 
-let handle_syscall t proc call cont =
+let call_name : Abi.call -> string = function
+  | Abi.Getpid -> "getpid"
+  | Getppid -> "getppid"
+  | Yield -> "yield"
+  | Tick -> "tick"
+  | Exit _ -> "exit"
+  | Fork _ -> "fork"
+  | Exec _ -> "exec"
+  | Wait -> "wait"
+  | Sbrk _ -> "sbrk"
+  | Mmap _ -> "mmap"
+  | Munmap _ -> "munmap"
+  | Open _ -> "open"
+  | Close _ -> "close"
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Lseek _ -> "lseek"
+  | Stat _ -> "stat"
+  | Fstat _ -> "fstat"
+  | Unlink _ -> "unlink"
+  | Rename _ -> "rename"
+  | Mkdir _ -> "mkdir"
+  | Readdir _ -> "readdir"
+  | Pipe -> "pipe"
+  | Dup _ -> "dup"
+  | Kill _ -> "kill"
+  | Signal _ -> "signal"
+  | Sync -> "sync"
+  | Bind_object _ -> "bind-object"
+  | Checkpoint -> "checkpoint"
+  | Fault _ -> "fault"
+
+(* The whole service path — trap, transfer, exec_call, containment — is one
+   syscall span; the enter lands while the caller's context is still
+   active, the exit after the world switches back. *)
+let rec handle_syscall t proc call cont =
+  Trace.with_span
+    (Cloak.Vmm.trace t.vmm)
+    ~pid:proc.pid ~site:(call_name call) Trace.Syscall
+    (fun () -> handle_syscall_body t proc call cont)
+
+and handle_syscall_body t proc call cont =
   Cloak.Vmm.switch_to t.vmm (sys_ctx proc);
   (match call with
   | Abi.Tick ->

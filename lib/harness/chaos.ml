@@ -126,9 +126,12 @@ type report = {
   crash : string option;
   leaks : string list;
   audit : string list;
+  audit_dropped : int;
   injections : int;
   contained : int;
   exit_statuses : (int * int option) list;
+  trace_failures : string list;
+  trace_dropped : int;
 }
 
 let scan_leaks vmm k =
@@ -155,7 +158,8 @@ let run_once ~seed =
   let vconfig =
     { Cloak.Vmm.default_config with seed = 0xC4A05 lxor (seed * 0x2545F491) }
   in
-  let vmm = Cloak.Vmm.create ~config:vconfig ~engine () in
+  let trace = Trace.ring () in
+  let vmm = Cloak.Vmm.create ~config:vconfig ~engine ~trace () in
   let k = Kernel.create ~config:kconfig vmm in
   let pids =
     [ Kernel.spawn k ~cloaked:true protagonist; Kernel.spawn k antagonist ]
@@ -172,9 +176,12 @@ let run_once ~seed =
     crash;
     leaks = scan_leaks vmm k;
     audit = Inject.Audit.lines (Cloak.Vmm.audit vmm);
+    audit_dropped = Inject.Audit.dropped (Cloak.Vmm.audit vmm);
     injections = Inject.injections engine;
     contained = (Cloak.Vmm.counters vmm).contained;
     exit_statuses = List.map (fun pid -> (pid, Kernel.exit_status k ~pid)) pids;
+    trace_failures = Trace.Check.verdict trace;
+    trace_dropped = Trace.dropped trace;
   }
 
 (* --- invariant checking over many seeds --- *)
@@ -198,6 +205,9 @@ let check_report r =
       fails :=
         Printf.sprintf "plaintext secret leaked to: %s" (String.concat ", " l)
         :: !fails);
+  List.iter
+    (fun f -> fails := Printf.sprintf "trace invariant: %s" f :: !fails)
+    r.trace_failures;
   !fails
 
 let run_seeds ?(progress = fun _ -> ()) ~seeds () =
@@ -215,10 +225,18 @@ let run_seeds ?(progress = fun _ -> ()) ~seeds () =
         + List.length
             (List.filter (fun (_, s) -> s = Some (-2)) r.exit_statuses);
       List.iter (fun f -> failures := (seed, f) :: !failures) (check_report r);
-      if r.audit <> r'.audit then
-        failures :=
-          (seed, "nondeterministic: same seed produced different audit logs")
-          :: !failures;
+      if r.audit <> r'.audit then begin
+        let dropped = max r.audit_dropped r'.audit_dropped in
+        let what =
+          if dropped > 0 then
+            Printf.sprintf
+              "audit window truncated (%d entries dropped): replay comparison \
+               covers different windows"
+              dropped
+          else "nondeterministic: same seed produced different audit logs"
+        in
+        failures := (seed, what) :: !failures
+      end;
       progress r)
     seeds;
   {
@@ -240,4 +258,10 @@ let pp_report ppf r =
         match r.leaks with
         | [] -> "clean"
         | l -> "LEAK " ^ String.concat ", " l));
+  if r.audit_dropped > 0 then
+    Format.fprintf ppf "    audit window truncated: %d entries dropped@."
+      r.audit_dropped;
+  List.iter
+    (fun f -> Format.fprintf ppf "    TRACE %s@." f)
+    r.trace_failures;
   List.iter (fun line -> Format.fprintf ppf "    %s@." line) r.audit

@@ -22,15 +22,27 @@ val contains_secret : bytes -> bool
 val kconfig : Guest.Kernel.config
 (** Deliberately tight guest memory so the workload swaps. *)
 
+val protagonist : Guest.Abi.program
+(** Cloaked workload moving the secret through every targeted subsystem. *)
+
+val antagonist : Guest.Abi.program
+(** Uncloaked memory pressure and disk traffic. *)
+
 type report = {
   seed : int;
   plan : Inject.plan;
   crash : string option;   (** exception escaping [Kernel.run], if any *)
   leaks : string list;     (** OS-visible surfaces holding the secret *)
   audit : string list;
+  audit_dropped : int;     (** audit-ring entries lost to the bounded window *)
   injections : int;
   contained : int;
   exit_statuses : (int * int option) list;
+  trace_failures : string list;
+      (** flight-recorder invariant violations ({!Trace.Check.verdict});
+          empty both when the run is clean and when the trace ring wrapped
+          (see [trace_dropped]) *)
+  trace_dropped : int;  (** events evicted from the trace ring *)
 }
 
 val run_once : seed:int -> report

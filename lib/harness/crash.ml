@@ -144,6 +144,7 @@ let point_to_string p =
 type raw_run = {
   kernel : Kernel.t option;  (* None: the crash hit during boot (journal attach) *)
   vmm : Cloak.Vmm.t;
+  trace : Trace.t;
   crashed : bool;
   ledger : ledger;
 }
@@ -151,13 +152,14 @@ type raw_run = {
 let run_workload ~seed ~plan =
   let engine = Inject.create plan in
   let vconfig = { Cloak.Vmm.default_config with seed = vmm_seed seed } in
-  let vmm = Cloak.Vmm.create ~config:vconfig ~engine () in
+  let trace = Trace.ring () in
+  let vmm = Cloak.Vmm.create ~config:vconfig ~engine ~trace () in
   let ledger : ledger = Hashtbl.create 32 in
   match
     try `Up (Kernel.create ~config:kconfig vmm)
     with Inject.Vmm_crash _ -> `Boot_crash
   with
-  | `Boot_crash -> { kernel = None; vmm; crashed = true; ledger }
+  | `Boot_crash -> { kernel = None; vmm; trace; crashed = true; ledger }
   | `Up k ->
       (match Cloak.Vmm.journal vmm with
       | Some j -> Cloak.Journal.set_observer j (Some (ledger_apply ledger))
@@ -170,7 +172,7 @@ let run_workload ~seed ~plan =
           false
         with Inject.Vmm_crash _ -> true
       in
-      { kernel = Some k; vmm; crashed; ledger }
+      { kernel = Some k; vmm; trace; crashed; ledger }
 
 (* --- calibration: occurrence counts and journal overhead, no faults --- *)
 
@@ -233,6 +235,8 @@ type outcome = {
   replay_s : float;
   failures : string list;
   audit : string list;  (* crash-run trail followed by the recovery trail *)
+  audit_dropped : int;
+  trace_dropped : int;
 }
 
 let run_point ~seed point =
@@ -246,7 +250,8 @@ let run_point ~seed point =
   (* Everything in VMM memory is gone with the power cut; only the block
      devices survive. A fresh VMM from the same seed re-derives the keys. *)
   let vconfig = { Cloak.Vmm.default_config with seed = vmm_seed seed } in
-  let vmm2 = Cloak.Vmm.create ~config:vconfig () in
+  let trace2 = Trace.ring () in
+  let vmm2 = Cloak.Vmm.create ~config:vconfig ~trace:trace2 () in
   let store, read_block =
     match raw.kernel with
     | Some k ->
@@ -335,6 +340,15 @@ let run_point ~seed point =
                        ~mac:m.Cloak.Journal.mac ~cipher)
                 then fail "accepted %s[%d] fails authentication" tag p.idx))
     r.Cloak.Recovery.pages;
+  (* trace-checked invariants over both halves of the story: the run that
+     died mid-write (prefix-closed rules tolerate the truncation) and the
+     recovery that replayed it *)
+  List.iter
+    (fun f -> fail "crash-run trace invariant: %s" f)
+    (Trace.Check.verdict raw.trace);
+  List.iter
+    (fun f -> fail "recovery trace invariant: %s" f)
+    (Trace.Check.verdict trace2);
   {
     point;
     seed;
@@ -349,6 +363,10 @@ let run_point ~seed point =
     audit =
       Inject.Audit.lines (Cloak.Vmm.audit raw.vmm)
       @ Inject.Audit.lines (Cloak.Vmm.audit vmm2);
+    audit_dropped =
+      Inject.Audit.dropped (Cloak.Vmm.audit raw.vmm)
+      + Inject.Audit.dropped (Cloak.Vmm.audit vmm2);
+    trace_dropped = Trace.dropped raw.trace + Trace.dropped trace2;
   }
 
 (* --- the matrix --- *)
@@ -409,12 +427,20 @@ let run_matrix ?(progress = fun _ -> ()) ?(per_site = 6) ~seeds () =
             (fun f ->
               failures := (seed, Printf.sprintf "%s: %s" (point_to_string point) f) :: !failures)
             o.failures;
-          if o.audit <> o'.audit then
-            failures :=
-              ( seed,
+          if o.audit <> o'.audit then begin
+            let dropped = max o.audit_dropped o'.audit_dropped in
+            let what =
+              if dropped > 0 then
+                Printf.sprintf
+                  "%s: audit window truncated (%d entries dropped): replay \
+                   comparison covers different windows"
+                  (point_to_string point) dropped
+              else
                 Printf.sprintf "%s: nondeterministic crash/recovery audit"
-                  (point_to_string point) )
-              :: !failures;
+                  (point_to_string point)
+            in
+            failures := (seed, what) :: !failures
+          end;
           progress o)
         (points_of_stats ~per_site stats))
     seeds;

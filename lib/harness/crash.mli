@@ -69,8 +69,14 @@ type outcome = {
   torn : int;
   quarantined : int;
   replay_s : float;         (** wall-clock spent in {!Cloak.Recovery.replay} *)
-  failures : string list;   (** broken invariants; empty on success *)
+  failures : string list;
+      (** broken invariants (durability, authentication, and the
+          flight-recorder trace checks over both the crash run and the
+          recovery); empty on success *)
   audit : string list;      (** crash-run trail followed by recovery trail *)
+  audit_dropped : int;      (** audit entries lost to the bounded window,
+                                summed over both runs *)
+  trace_dropped : int;      (** trace events evicted, summed over both rings *)
 }
 
 val run_point : seed:int -> point -> outcome

@@ -14,8 +14,8 @@ type result = {
   injections : int;
 }
 
-let run ?vconfig ?kconfig ?engine ~spawn () =
-  let vmm = Cloak.Vmm.create ?config:vconfig ?engine () in
+let run ?vconfig ?kconfig ?engine ?trace ~spawn () =
+  let vmm = Cloak.Vmm.create ?config:vconfig ?engine ?trace () in
   let k = Kernel.create ?config:kconfig vmm in
   let before_cycles = Cost.cycles (Cloak.Vmm.cost vmm) in
   let before = Counters.snapshot (Cloak.Vmm.counters vmm) in
@@ -32,8 +32,10 @@ let run ?vconfig ?kconfig ?engine ~spawn () =
     injections = (match engine with Some e -> Inject.injections e | None -> 0);
   }
 
-let run_program ?vconfig ?kconfig ?engine ?(cloaked = false) prog =
-  run ?vconfig ?kconfig ?engine ~spawn:(fun k -> [ Kernel.spawn k ~cloaked prog ]) ()
+let run_program ?vconfig ?kconfig ?engine ?trace ?(cloaked = false) prog =
+  run ?vconfig ?kconfig ?engine ?trace
+    ~spawn:(fun k -> [ Kernel.spawn k ~cloaked prog ])
+    ()
 
 let all_exited_zero r =
   List.for_all (fun (_, status) -> status = Some 0) r.exit_statuses

@@ -30,17 +30,20 @@ val run :
   ?vconfig:Cloak.Vmm.config ->
   ?kconfig:Guest.Kernel.config ->
   ?engine:Inject.t ->
+  ?trace:Trace.t ->
   spawn:(Guest.Kernel.t -> int list) ->
   unit ->
   result
 (** Create a stack, let [spawn] start processes (returning their pids) and
     run to completion. Counter and cycle deltas cover the whole run. With
-    [engine], the stack runs under that fault-injection plan. *)
+    [engine], the stack runs under that fault-injection plan. With [trace],
+    the stack records into that flight recorder (default {!Trace.null}). *)
 
 val run_program :
   ?vconfig:Cloak.Vmm.config ->
   ?kconfig:Guest.Kernel.config ->
   ?engine:Inject.t ->
+  ?trace:Trace.t ->
   ?cloaked:bool ->
   Guest.Abi.program ->
   result

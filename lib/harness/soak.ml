@@ -187,9 +187,12 @@ type run = {
   service_status : int option;
   leaks : string list;
   audit : string list;
+  audit_dropped : int;
   crash : string option;
   stats : Kernel.supervision_stats option;
   vmm : Cloak.Vmm.t;  (* kept for post-run stale-rollback probes *)
+  trace_failures : string list;
+  trace_dropped : int;
 }
 
 let scan_leaks vmm k =
@@ -215,7 +218,8 @@ let run_once ~plan ~seed ~supervised =
   let vconfig =
     { Cloak.Vmm.default_config with seed = 0xC4A05 lxor (seed * 0x2545F491) }
   in
-  let vmm = Cloak.Vmm.create ~config:vconfig ~engine () in
+  let trace = Trace.ring () in
+  let vmm = Cloak.Vmm.create ~config:vconfig ~engine ~trace () in
   let k = Kernel.create ~config:kconfig vmm in
   let service_pid =
     if supervised then Kernel.spawn_supervised k ~policy service
@@ -245,9 +249,12 @@ let run_once ~plan ~seed ~supervised =
     service_status = Kernel.exit_status k ~pid:service_pid;
     leaks = scan_leaks vmm k;
     audit = Inject.Audit.lines (Cloak.Vmm.audit vmm);
+    audit_dropped = Inject.Audit.dropped (Cloak.Vmm.audit vmm);
     crash;
     stats;
     vmm;
+    trace_failures = Trace.Check.verdict trace;
+    trace_dropped = Trace.dropped trace;
   }
 
 (* --- invariants --- *)
@@ -314,6 +321,8 @@ type seed_report = {
   circuit_breaks : int;
   checkpoints : int;
   recovery_cycles : int;
+  audit_dropped : int;
+  trace_dropped : int;
   failures : string list;
 }
 
@@ -348,11 +357,28 @@ let run_seed ~seed =
       | None -> ())
     [ sup; unsup ];
   (* 3: determinism — same seed, same mode, bit-identical audit *)
-  if sup.audit <> sup'.audit then
-    fails := "nondeterministic: same seed produced different audit logs" :: !fails;
+  if sup.audit <> sup'.audit then begin
+    let dropped = max sup.audit_dropped sup'.audit_dropped in
+    let what =
+      if dropped > 0 then
+        Printf.sprintf
+          "audit window truncated (%d entries dropped): replay comparison \
+           covers different windows"
+          dropped
+      else "nondeterministic: same seed produced different audit logs"
+    in
+    fails := what :: !fails
+  end;
   List.iter (fun f -> fails := f :: !fails) (check_privacy sup);
   List.iter (fun f -> fails := f :: !fails) (check_privacy unsup);
   List.iter (fun f -> fails := f :: !fails) (check_stale sup);
+  (* 4: trace-checked invariants over every mode, fault-free included *)
+  List.iter
+    (fun (mode, r) ->
+      List.iter
+        (fun f -> fails := Printf.sprintf "%s trace invariant: %s" mode f :: !fails)
+        r.trace_failures)
+    [ ("fault-free", fault_free); ("supervised", sup); ("unsupervised", unsup) ];
   {
     seed;
     units_ff = fault_free.units;
@@ -362,6 +388,8 @@ let run_seed ~seed =
     circuit_breaks = sup.circuit_breaks;
     checkpoints = sup.checkpoints;
     recovery_cycles = sup.recovery_cycles;
+    audit_dropped = max sup.audit_dropped (max sup'.audit_dropped unsup.audit_dropped);
+    trace_dropped = max sup.trace_dropped (max fault_free.trace_dropped unsup.trace_dropped);
     failures = List.rev !fails;
   }
 
@@ -405,9 +433,12 @@ let run_seeds ?(progress = fun _ -> ()) ~seeds () =
   }
 
 let pp_seed_report ppf r =
-  Format.fprintf ppf "seed %d: ff=%d sup=%d unsup=%d restarts=%d breaks=%d ckpts=%d%s@."
+  Format.fprintf ppf "seed %d: ff=%d sup=%d unsup=%d restarts=%d breaks=%d ckpts=%d%s%s@."
     r.seed r.units_ff r.units_sup r.units_unsup r.restarts r.circuit_breaks
     r.checkpoints
+    (if r.audit_dropped > 0 then
+       Printf.sprintf " audit-dropped=%d" r.audit_dropped
+     else "")
     (match r.failures with
     | [] -> ""
     | l -> " FAIL " ^ String.concat "; " l)

@@ -50,7 +50,13 @@ type seed_report = {
   circuit_breaks : int;
   checkpoints : int;
   recovery_cycles : int;
-  failures : string list;  (** broken invariants; empty = seed passed *)
+  audit_dropped : int;
+      (** worst audit-ring truncation across the seed's runs *)
+  trace_dropped : int;
+      (** worst flight-recorder ring truncation across the seed's runs *)
+  failures : string list;
+      (** broken invariants (privacy, staleness, determinism, and the
+          flight-recorder trace checks over every mode); empty = passed *)
 }
 
 type verdict = {

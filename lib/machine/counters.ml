@@ -57,95 +57,58 @@ let create () =
     circuit_breaks = 0;
   }
 
-let reset t =
-  t.tlb_hits <- 0;
-  t.tlb_misses <- 0;
-  t.shadow_walks <- 0;
-  t.hidden_faults <- 0;
-  t.guest_faults <- 0;
-  t.world_switches <- 0;
-  t.hypercalls <- 0;
-  t.syscalls <- 0;
-  t.page_encryptions <- 0;
-  t.clean_reencryptions <- 0;
-  t.page_decryptions <- 0;
-  t.hash_computes <- 0;
-  t.hash_checks <- 0;
-  t.disk_reads <- 0;
-  t.disk_writes <- 0;
-  t.context_switches <- 0;
-  t.timer_ticks <- 0;
-  t.bytes_copied <- 0;
-  t.violations <- 0;
-  t.contained <- 0;
-  t.quarantines <- 0;
-  t.io_retries <- 0;
-  t.seal_checkpoints <- 0;
-  t.seal_restores <- 0;
-  t.restarts <- 0;
-  t.circuit_breaks <- 0
+(* The single field table every derived operation goes through. A new
+   counter needs exactly three edits: the type, the zero literal above,
+   and one row here — reset/snapshot/diff/to_assoc/pp all follow. *)
+let fields : (string * (t -> int) * (t -> int -> unit)) list =
+  [
+    ("tlb_hits", (fun t -> t.tlb_hits), fun t v -> t.tlb_hits <- v);
+    ("tlb_misses", (fun t -> t.tlb_misses), fun t v -> t.tlb_misses <- v);
+    ("shadow_walks", (fun t -> t.shadow_walks), fun t v -> t.shadow_walks <- v);
+    ("hidden_faults", (fun t -> t.hidden_faults), fun t v -> t.hidden_faults <- v);
+    ("guest_faults", (fun t -> t.guest_faults), fun t v -> t.guest_faults <- v);
+    ("world_switches", (fun t -> t.world_switches), fun t v -> t.world_switches <- v);
+    ("hypercalls", (fun t -> t.hypercalls), fun t v -> t.hypercalls <- v);
+    ("syscalls", (fun t -> t.syscalls), fun t v -> t.syscalls <- v);
+    ("page_encryptions", (fun t -> t.page_encryptions), fun t v -> t.page_encryptions <- v);
+    ( "clean_reencryptions",
+      (fun t -> t.clean_reencryptions),
+      fun t v -> t.clean_reencryptions <- v );
+    ("page_decryptions", (fun t -> t.page_decryptions), fun t v -> t.page_decryptions <- v);
+    ("hash_computes", (fun t -> t.hash_computes), fun t v -> t.hash_computes <- v);
+    ("hash_checks", (fun t -> t.hash_checks), fun t v -> t.hash_checks <- v);
+    ("disk_reads", (fun t -> t.disk_reads), fun t v -> t.disk_reads <- v);
+    ("disk_writes", (fun t -> t.disk_writes), fun t v -> t.disk_writes <- v);
+    ("context_switches", (fun t -> t.context_switches), fun t v -> t.context_switches <- v);
+    ("timer_ticks", (fun t -> t.timer_ticks), fun t v -> t.timer_ticks <- v);
+    ("bytes_copied", (fun t -> t.bytes_copied), fun t v -> t.bytes_copied <- v);
+    ("violations", (fun t -> t.violations), fun t v -> t.violations <- v);
+    ("contained", (fun t -> t.contained), fun t v -> t.contained <- v);
+    ("quarantines", (fun t -> t.quarantines), fun t v -> t.quarantines <- v);
+    ("io_retries", (fun t -> t.io_retries), fun t v -> t.io_retries <- v);
+    ("seal_checkpoints", (fun t -> t.seal_checkpoints), fun t v -> t.seal_checkpoints <- v);
+    ("seal_restores", (fun t -> t.seal_restores), fun t v -> t.seal_restores <- v);
+    ("restarts", (fun t -> t.restarts), fun t v -> t.restarts <- v);
+    ("circuit_breaks", (fun t -> t.circuit_breaks), fun t v -> t.circuit_breaks <- v);
+  ]
 
-let snapshot t = { t with tlb_hits = t.tlb_hits }
+let reset t = List.iter (fun (_, _, set) -> set t 0) fields
+
+(* Copy field-by-field through the table: the snapshot shares no mutable
+   state with [t], so a later mutation of either side cannot leak into a
+   [diff] taken against the other. *)
+let snapshot t =
+  let s = create () in
+  List.iter (fun (_, get, set) -> set s (get t)) fields;
+  s
 
 let diff ~after ~before =
-  {
-    tlb_hits = after.tlb_hits - before.tlb_hits;
-    tlb_misses = after.tlb_misses - before.tlb_misses;
-    shadow_walks = after.shadow_walks - before.shadow_walks;
-    hidden_faults = after.hidden_faults - before.hidden_faults;
-    guest_faults = after.guest_faults - before.guest_faults;
-    world_switches = after.world_switches - before.world_switches;
-    hypercalls = after.hypercalls - before.hypercalls;
-    syscalls = after.syscalls - before.syscalls;
-    page_encryptions = after.page_encryptions - before.page_encryptions;
-    clean_reencryptions = after.clean_reencryptions - before.clean_reencryptions;
-    page_decryptions = after.page_decryptions - before.page_decryptions;
-    hash_computes = after.hash_computes - before.hash_computes;
-    hash_checks = after.hash_checks - before.hash_checks;
-    disk_reads = after.disk_reads - before.disk_reads;
-    disk_writes = after.disk_writes - before.disk_writes;
-    context_switches = after.context_switches - before.context_switches;
-    timer_ticks = after.timer_ticks - before.timer_ticks;
-    bytes_copied = after.bytes_copied - before.bytes_copied;
-    violations = after.violations - before.violations;
-    contained = after.contained - before.contained;
-    quarantines = after.quarantines - before.quarantines;
-    io_retries = after.io_retries - before.io_retries;
-    seal_checkpoints = after.seal_checkpoints - before.seal_checkpoints;
-    seal_restores = after.seal_restores - before.seal_restores;
-    restarts = after.restarts - before.restarts;
-    circuit_breaks = after.circuit_breaks - before.circuit_breaks;
-  }
+  let d = create () in
+  List.iter (fun (_, get, set) -> set d (get after - get before)) fields;
+  d
 
-let rows t =
-  [
-    ("tlb_hits", t.tlb_hits);
-    ("tlb_misses", t.tlb_misses);
-    ("shadow_walks", t.shadow_walks);
-    ("hidden_faults", t.hidden_faults);
-    ("guest_faults", t.guest_faults);
-    ("world_switches", t.world_switches);
-    ("hypercalls", t.hypercalls);
-    ("syscalls", t.syscalls);
-    ("page_encryptions", t.page_encryptions);
-    ("clean_reencryptions", t.clean_reencryptions);
-    ("page_decryptions", t.page_decryptions);
-    ("hash_computes", t.hash_computes);
-    ("hash_checks", t.hash_checks);
-    ("disk_reads", t.disk_reads);
-    ("disk_writes", t.disk_writes);
-    ("context_switches", t.context_switches);
-    ("timer_ticks", t.timer_ticks);
-    ("bytes_copied", t.bytes_copied);
-    ("violations", t.violations);
-    ("contained", t.contained);
-    ("quarantines", t.quarantines);
-    ("io_retries", t.io_retries);
-    ("seal_checkpoints", t.seal_checkpoints);
-    ("seal_restores", t.seal_restores);
-    ("restarts", t.restarts);
-    ("circuit_breaks", t.circuit_breaks);
-  ]
+let to_assoc t = List.map (fun (name, get, _) -> (name, get t)) fields
+let rows = to_assoc
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";

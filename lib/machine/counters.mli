@@ -32,13 +32,25 @@ type t = {
 
 val create : unit -> t
 val reset : t -> unit
+
 val snapshot : t -> t
-(** An immutable-by-convention copy for later diffing. *)
+(** A detached copy taken through the field table: later mutation of
+    either record is invisible to the other, so a [diff ~after ~before]
+    computed against a snapshot can never observe subsequent updates. *)
 
 val diff : after:t -> before:t -> t
 (** Field-wise subtraction. *)
 
+val fields : (string * (t -> int) * (t -> int -> unit)) list
+(** The single name × getter × setter table {!create}/{!reset}/
+    {!snapshot}/{!diff}/{!to_assoc} all derive from; exported so external
+    consumers (JSON emitters, table printers) enumerate counters without
+    hand-maintained copies. *)
+
+val to_assoc : t -> (string * int) list
+(** Counter name/value pairs in field-table order. *)
+
 val pp : Format.formatter -> t -> unit
 
 val rows : t -> (string * int) list
-(** Counter name/value pairs in a stable order, for table output. *)
+(** Alias of {!to_assoc} (historical name). *)

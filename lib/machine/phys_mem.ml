@@ -8,6 +8,7 @@ type t = {
      survive in the pool (RAM remanence) and resurface unzeroed when the
      MPN is recycled. *)
   remanent : (int, bytes) Hashtbl.t;
+  mutable trace : Trace.t;
 }
 
 exception Out_of_memory
@@ -21,7 +22,10 @@ let create ?engine ~pages () =
     used = 0;
     engine;
     remanent = Hashtbl.create 8;
+    trace = Trace.null;
   }
+
+let set_trace t trace = t.trace <- trace
 
 let capacity t = Array.length t.pages
 let in_use t = t.used
@@ -72,7 +76,8 @@ let free t mpn =
   | Some _ | None -> ());
   t.pages.(mpn) <- None;
   t.free_list <- mpn :: t.free_list;
-  t.used <- t.used - 1
+  t.used <- t.used - 1;
+  Trace.emit t.trace ~pid:mpn Trace.Frame_free
 
 let allocated t mpn =
   mpn >= 0 && mpn < Array.length t.pages && t.pages.(mpn) <> None

@@ -15,6 +15,11 @@ exception Out_of_memory
 val create : ?engine:Inject.t -> pages:int -> unit -> t
 (** A pool with capacity for [pages] machine pages. *)
 
+val set_trace : t -> Trace.t -> unit
+(** Point the pool's flight recorder at a sink ({!Trace.null} until set).
+    {!free} emits a [Frame_free] event stamped with the freed MPN, which
+    the trace invariant pass cross-checks against decrypt/scrub events. *)
+
 val alloc : t -> Addr.mpn
 (** Allocate a zero-filled page (or, under a [Fail_scrub] injection, a page
     still holding its previous owner's bytes). Raises {!Out_of_memory} when
