@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test chaos-smoke recovery soak trace ci clean
+.PHONY: all build test chaos-smoke recovery soak trace profile regress ci clean
 
 all: build
 
@@ -41,7 +41,22 @@ trace: build
 	$(DUNE) exec bin/overshadow_cli.exe -- trace-overhead --out BENCH_trace_overhead.json
 	$(DUNE) exec bin/overshadow_cli.exe -- trace fileio --cloaked
 
-ci: test chaos-smoke recovery soak trace
+# Profiler smoke: exact cycle attribution for the cloaked fileio run,
+# with the collapsed-stack (flamegraph.pl input) export.
+profile: build
+	$(DUNE) exec bin/overshadow_cli.exe -- profile fileio --cloaked --out BENCH_fileio.collapsed
+
+# Perf-regression sentinel: replay the E1/E2 suite plus the key VMM
+# counters against the committed bench/baselines.json; fails on any
+# cycle metric drifting beyond tolerance or any counter changing at all.
+# After an intentional perf change: make regress-update, commit the file.
+regress: build
+	$(DUNE) exec bin/overshadow_cli.exe -- regress --bench-out BENCH_regress.json
+
+regress-update: build
+	$(DUNE) exec bin/overshadow_cli.exe -- regress --update-baselines
+
+ci: test chaos-smoke recovery soak trace regress profile
 
 clean:
 	$(DUNE) clean

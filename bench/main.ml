@@ -5,7 +5,7 @@
 let experiments : (string * string * (unit -> unit)) list =
   [
     ("E1", "compute-bound kernels", Experiments.e1);
-    ("E2", "syscall microbenchmarks", Micro.table);
+    ("E2", "syscall microbenchmarks", Regress.Micro.table);
     ( "E3+E4",
       "application workloads + overhead decomposition",
       fun () ->

@@ -10,9 +10,12 @@
      overshadow-cli soak --seeds 20           supervised availability soak
      overshadow-cli trace fileio --cloaked    flight-recorder latency decomposition
      overshadow-cli trace-overhead            prove the recorder costs zero model cycles
+     overshadow-cli profile fileio --cloaked  exact cycle attribution + flamegraph export
+     overshadow-cli regress                   perf-regression sentinel vs committed baselines
      overshadow-cli list                      what's available
 
-   The benchmark tables (E1-E8) live in `dune exec bench/main.exe`. *)
+   Run with no arguments for the full usage listing. The benchmark tables
+   (E1-E8) live in `dune exec bench/main.exe`. *)
 
 open Cmdliner
 
@@ -70,7 +73,7 @@ let run_counters cloaked =
   Format.printf "%a@." Machine.Counters.pp result.Harness.counters;
   if Harness.all_exited_zero result then 0 else 1
 
-let run_chaos seeds base verbose =
+let run_chaos seeds base verbose bench_out =
   let reports = ref [] in
   let progress r =
     reports := r :: !reports;
@@ -83,15 +86,29 @@ let run_chaos seeds base verbose =
         | None, [] -> "clean"
         | None, l -> "LEAK " ^ String.concat ", " l)
   in
+  let t0 = Sys.time () in
   let v =
     Harness.Chaos.run_seeds ~progress
       ~seeds:(Harness.Chaos.seeds_from ~base ~count:seeds)
       ()
   in
+  let wall_s = Sys.time () -. t0 in
   Printf.printf
     "\n%d seeds (each run twice): %d injections, %d contained faults, %d security kills\n"
     v.Harness.Chaos.runs v.Harness.Chaos.total_injections v.Harness.Chaos.total_contained
     v.Harness.Chaos.security_kills;
+  (match bench_out with
+  | None -> ()
+  | Some path ->
+      Report.write ~path
+        (Report.bench ~name:"chaos"
+           [ ("seeds", Report.Int v.Harness.Chaos.runs);
+             ("injections", Report.Int v.Harness.Chaos.total_injections);
+             ("contained", Report.Int v.Harness.Chaos.total_contained);
+             ("security_kills", Report.Int v.Harness.Chaos.security_kills);
+             ("wall_s", Report.Float wall_s);
+             ("failures", Report.Int (List.length v.Harness.Chaos.failures)) ]);
+      Printf.printf "  wrote %s\n" path);
   match v.Harness.Chaos.failures with
   | [] ->
       Printf.printf "all invariants held: no escapes, no leaks, deterministic replay\n";
@@ -150,46 +167,36 @@ let run_crash_matrix seeds base per_site verbose bench_out =
           float_of_int v.Harness.Crash.store_writes_per_run
           /. float_of_int v.Harness.Crash.data_writes_per_run
       in
-      let json =
-        Printf.sprintf
-          "{\n\
-          \  \"benchmark\": \"recovery\",\n\
-          \  \"seeds\": %d,\n\
-          \  \"crash_points\": %d,\n\
-          \  \"crashes_fired\": %d,\n\
-          \  \"sites\": {%s},\n\
-          \  \"ledger_committed\": %d,\n\
-          \  \"recovered_committed\": %d,\n\
-          \  \"recovered_redone\": %d,\n\
-          \  \"torn_quarantined\": %d,\n\
-          \  \"replay_total_s\": %.6f,\n\
-          \  \"replay_mean_ms\": %.3f,\n\
-          \  \"journal_records_per_run\": %d,\n\
-          \  \"journal_store_writes_per_run\": %d,\n\
-          \  \"journal_checkpoints_per_run\": %d,\n\
-          \  \"data_writes_per_run\": %d,\n\
-          \  \"journal_writes_per_data_write\": %.4f,\n\
-          \  \"wall_s\": %.3f,\n\
-          \  \"failures\": %d\n\
-           }\n"
-          v.Harness.Crash.seeds v.Harness.Crash.points v.Harness.Crash.crashes
-          (String.concat ", "
-             (List.map
-                (fun (s, n) -> Printf.sprintf "\"%s\": %d" (Inject.site_to_string s) n)
-                v.Harness.Crash.site_points))
-          v.Harness.Crash.ledger_committed_total v.Harness.Crash.committed_total
-          v.Harness.Crash.redone_total v.Harness.Crash.torn_total
-          v.Harness.Crash.replay_s_total
-          (if v.Harness.Crash.points = 0 then 0.0
-           else 1000.0 *. v.Harness.Crash.replay_s_total /. float_of_int (2 * v.Harness.Crash.points))
-          v.Harness.Crash.records_per_run v.Harness.Crash.store_writes_per_run
-          v.Harness.Crash.checkpoints_per_run v.Harness.Crash.data_writes_per_run
-          overhead wall_s
-          (List.length v.Harness.Crash.failures)
-      in
-      let oc = open_out path in
-      output_string oc json;
-      close_out oc;
+      Report.write ~path
+        (Report.bench ~name:"recovery"
+           [ ("seeds", Report.Int v.Harness.Crash.seeds);
+             ("crash_points", Report.Int v.Harness.Crash.points);
+             ("crashes_fired", Report.Int v.Harness.Crash.crashes);
+             ( "sites",
+               Report.Obj
+                 (List.map
+                    (fun (s, n) -> (Inject.site_to_string s, Report.Int n))
+                    v.Harness.Crash.site_points) );
+             ("ledger_committed", Report.Int v.Harness.Crash.ledger_committed_total);
+             ("recovered_committed", Report.Int v.Harness.Crash.committed_total);
+             ("recovered_redone", Report.Int v.Harness.Crash.redone_total);
+             ("torn_quarantined", Report.Int v.Harness.Crash.torn_total);
+             ("replay_total_s", Report.Float v.Harness.Crash.replay_s_total);
+             ( "replay_mean_ms",
+               Report.Float
+                 (if v.Harness.Crash.points = 0 then 0.0
+                  else
+                    1000.0 *. v.Harness.Crash.replay_s_total
+                    /. float_of_int (2 * v.Harness.Crash.points)) );
+             ("journal_records_per_run", Report.Int v.Harness.Crash.records_per_run);
+             ( "journal_store_writes_per_run",
+               Report.Int v.Harness.Crash.store_writes_per_run );
+             ( "journal_checkpoints_per_run",
+               Report.Int v.Harness.Crash.checkpoints_per_run );
+             ("data_writes_per_run", Report.Int v.Harness.Crash.data_writes_per_run);
+             ("journal_writes_per_data_write", Report.Float overhead);
+             ("wall_s", Report.Float wall_s);
+             ("failures", Report.Int (List.length v.Harness.Crash.failures)) ]);
       Printf.printf "  wrote %s\n" path);
   match v.Harness.Crash.failures with
   | [] ->
@@ -220,34 +227,21 @@ let run_soak seeds base verbose bench_out =
   (match bench_out with
   | None -> ()
   | Some path ->
-      let json =
-        Printf.sprintf
-          "{\n\
-          \  \"benchmark\": \"availability\",\n\
-          \  \"seeds\": %d,\n\
-          \  \"rounds_per_run\": %d,\n\
-          \  \"availability_supervised\": %.4f,\n\
-          \  \"availability_unsupervised\": %.4f,\n\
-          \  \"mttr_cycles\": %.1f,\n\
-          \  \"restarts\": %d,\n\
-          \  \"circuit_breaks\": %d,\n\
-          \  \"checkpoints\": %d,\n\
-          \  \"units_supervised\": %d,\n\
-          \  \"units_unsupervised\": %d,\n\
-          \  \"wall_s\": %.3f,\n\
-          \  \"failures\": %d\n\
-           }\n"
-          v.Harness.Soak.seeds_run Harness.Soak.rounds
-          v.Harness.Soak.availability_sup v.Harness.Soak.availability_unsup
-          v.Harness.Soak.mttr_cycles v.Harness.Soak.total_restarts
-          v.Harness.Soak.total_circuit_breaks v.Harness.Soak.total_checkpoints
-          v.Harness.Soak.total_units_sup v.Harness.Soak.total_units_unsup
-          wall_s
-          (List.length v.Harness.Soak.failures)
-      in
-      let oc = open_out path in
-      output_string oc json;
-      close_out oc;
+      Report.write ~path
+        (Report.bench ~name:"availability"
+           [ ("seeds", Report.Int v.Harness.Soak.seeds_run);
+             ("rounds_per_run", Report.Int Harness.Soak.rounds);
+             ("availability_supervised", Report.Float v.Harness.Soak.availability_sup);
+             ( "availability_unsupervised",
+               Report.Float v.Harness.Soak.availability_unsup );
+             ("mttr_cycles", Report.Float v.Harness.Soak.mttr_cycles);
+             ("restarts", Report.Int v.Harness.Soak.total_restarts);
+             ("circuit_breaks", Report.Int v.Harness.Soak.total_circuit_breaks);
+             ("checkpoints", Report.Int v.Harness.Soak.total_checkpoints);
+             ("units_supervised", Report.Int v.Harness.Soak.total_units_sup);
+             ("units_unsupervised", Report.Int v.Harness.Soak.total_units_unsup);
+             ("wall_s", Report.Float wall_s);
+             ("failures", Report.Int (List.length v.Harness.Soak.failures)) ]);
       Printf.printf "  wrote %s\n" path);
   match v.Harness.Soak.failures with
   | [] when v.Harness.Soak.total_units_sup > v.Harness.Soak.total_units_unsup ->
@@ -352,43 +346,28 @@ let run_trace_overhead out =
           (Harness.Table.cycles baseline.Harness.cycles)
           null_d ring_d (Trace.count ring);
         let row =
-          Printf.sprintf
-            "    {\n\
-            \      \"workload\": \"%s\",\n\
-            \      \"baseline_cycles\": %d,\n\
-            \      \"null_sink_cycles\": %d,\n\
-            \      \"ring_sink_cycles\": %d,\n\
-            \      \"null_sink_delta_cycles\": %d,\n\
-            \      \"ring_sink_delta_cycles\": %d,\n\
-            \      \"ring_events\": %d,\n\
-            \      \"baseline_wall_s\": %.6f,\n\
-            \      \"null_sink_wall_s\": %.6f,\n\
-            \      \"ring_sink_wall_s\": %.6f\n\
-            \    }"
-            name baseline.Harness.cycles null_r.Harness.cycles ring_r.Harness.cycles
-            null_d ring_d (Trace.count ring) base_s null_s ring_s
+          Report.Obj
+            [ ("workload", Report.Str name);
+              ("baseline_cycles", Report.Int baseline.Harness.cycles);
+              ("null_sink_cycles", Report.Int null_r.Harness.cycles);
+              ("ring_sink_cycles", Report.Int ring_r.Harness.cycles);
+              ("null_sink_delta_cycles", Report.Int null_d);
+              ("ring_sink_delta_cycles", Report.Int ring_d);
+              ("ring_events", Report.Int (Trace.count ring));
+              ("baseline_wall_s", Report.Float base_s);
+              ("null_sink_wall_s", Report.Float null_s);
+              ("ring_sink_wall_s", Report.Float ring_s) ]
         in
         (row :: rows, ok && null_d = 0 && ring_d = 0))
       ([], true) workloads
   in
-  let json =
-    Printf.sprintf
-      "{\n\
-      \  \"benchmark\": \"trace_overhead\",\n\
-      \  \"workloads\": [\n\
-       %s\n\
-      \  ],\n\
-      \  \"zero_model_cycle_overhead\": %b\n\
-       }\n"
-      (String.concat ",\n" (List.rev rows))
-      ok
-  in
   (match out with
   | None -> ()
   | Some path ->
-      let oc = open_out path in
-      output_string oc json;
-      close_out oc;
+      Report.write ~path
+        (Report.bench ~name:"trace_overhead"
+           [ ("workloads", Report.List (List.rev rows));
+             ("zero_model_cycle_overhead", Report.Bool ok) ]);
       Printf.printf "wrote %s\n" path);
   if ok then begin
     Printf.printf "trace sinks added zero model cycles on every workload\n";
@@ -398,6 +377,105 @@ let run_trace_overhead out =
     Printf.printf "FAILED: a trace sink perturbed the cost model\n";
     1
   end
+
+(* --- cycle-attribution profiler --- *)
+
+let run_profile name cloaked scale diff_native out cap top_n =
+  match traced_workload name with
+  | None ->
+      Printf.eprintf "unknown workload %s (try: %s)\n" name
+        (String.concat ", " (workload_names ()));
+      1
+  | Some _ when diff_native && not cloaked ->
+      Printf.eprintf "--diff-native compares a cloaked run against native; add --cloaked\n";
+      1
+  | Some run -> (
+      let profiled ~cloaked =
+        let trace = Trace.ring ~cap () in
+        let result = run ~cloaked ~scale ~trace in
+        let root =
+          Printf.sprintf "%s-%s" name (if cloaked then "cloaked" else "native")
+        in
+        (result, trace,
+         Profile.of_trace ~root ~total_cycles:result.Harness.cycles trace)
+      in
+      try
+        let result, trace, p = profiled ~cloaked in
+        Printf.printf "workload : %s (scale %d, %s)\n" name scale
+          (if cloaked then "cloaked" else "native");
+        Printf.printf "cycles   : %s\n" (Harness.Table.cycles result.Harness.cycles);
+        Printf.printf "events   : %d recorded, %d dropped (ring capacity %d)\n\n"
+          (Trace.count trace) (Trace.dropped trace) (Trace.capacity trace);
+        Format.printf "%a@.@." (Profile.pp_tree ?min_pct:None) p;
+        Format.printf "%a@." (Profile.pp_top ~n:top_n) p;
+        (match out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Profile.to_collapsed p);
+            close_out oc;
+            Printf.printf "\nwrote %s (collapsed stacks; feed to flamegraph.pl)\n" path);
+        if diff_native then begin
+          let _, _, native = profiled ~cloaked:false in
+          Format.printf "@.%a@."
+            (Profile.pp_diff ?n:None ~base_name:"native" ~cur_name:"cloaked")
+            (Profile.diff ~base:native ~cur:p)
+        end;
+        if Harness.all_exited_zero result then 0 else 1
+      with
+      | Profile.Truncated dropped ->
+          Printf.eprintf
+            "cannot attribute: the trace ring wrapped and dropped %d events, so the \
+             surviving stream would produce a wrong tree, not a partial one.\n\
+             Re-run with a larger --cap (current %d).\n"
+            dropped cap;
+          1
+      | Profile.Error msg ->
+          Printf.eprintf "profile error: %s\n" msg;
+          1)
+
+(* --- perf-regression sentinel --- *)
+
+let run_regress baselines tolerance update bench_out =
+  if update then begin
+    let metrics = Regress.suite () in
+    let tol =
+      Option.value tolerance ~default:Regress.default_tolerance_pct
+    in
+    Regress.write_baselines ~path:baselines ~tolerance_pct:tol metrics;
+    Printf.printf "wrote %d baseline metrics to %s (cycle tolerance ±%.1f%%)\n"
+      (List.length metrics) baselines tol;
+    0
+  end
+  else if not (Sys.file_exists baselines) then begin
+    Printf.eprintf "no baselines at %s — create them with --update-baselines\n"
+      baselines;
+    1
+  end
+  else
+    match Regress.load_baselines ~path:baselines with
+    | exception Failure msg ->
+        Printf.eprintf "%s\n" msg;
+        1
+    | exception Report.Parse_error msg ->
+        Printf.eprintf "%s\n" msg;
+        1
+    | file_tol, baseline ->
+        let tolerance_pct =
+          match tolerance with
+          | Some t -> t
+          | None -> Option.value file_tol ~default:Regress.default_tolerance_pct
+        in
+        let outcome =
+          Regress.compare_metrics ~tolerance_pct ~baseline (Regress.suite ())
+        in
+        Format.printf "%a@." Regress.pp_outcome outcome;
+        (match bench_out with
+        | None -> ()
+        | Some path ->
+            Report.write ~path (Regress.outcome_report outcome);
+            Printf.printf "wrote %s\n" path);
+        if Regress.ok outcome then 0 else 1
 
 let run_list () =
   Printf.printf "compute kernels:\n";
@@ -446,12 +524,18 @@ let chaos_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Print each run's fault plan and audit log.")
   in
+  let bench_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE" ~doc:"Write a JSON benchmark summary to $(docv).")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run the workload under seeded random fault plans and check the hostile-world \
           invariants (containment, privacy, deterministic replay).")
-    Term.(const run_chaos $ seeds_arg $ base_arg $ verbose_arg)
+    Term.(const run_chaos $ seeds_arg $ base_arg $ verbose_arg $ bench_out_arg)
 
 let recover_cmd =
   let seed_arg =
@@ -570,8 +654,112 @@ let trace_overhead_cmd =
           identical to the untraced baseline.")
     Term.(const run_trace_overhead $ out_arg)
 
+let profile_cmd =
+  let workload_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload: $(b,fileio) or a compute kernel name.")
+  in
+  let scale_arg =
+    Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc:"Problem size multiplier.")
+  in
+  let diff_arg =
+    Arg.(
+      value & flag
+      & info [ "diff-native" ]
+          ~doc:"Also run the workload uncloaked and print the differential profile.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write collapsed stacks (flamegraph.pl input) to $(docv).")
+  in
+  let cap_arg =
+    Arg.(
+      value & opt int 1_048_576
+      & info [ "cap" ] ~docv:"N"
+          ~doc:
+            "Trace ring capacity. Attribution refuses a wrapped ring, so this must \
+             hold the whole run.")
+  in
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Rows in the hottest-contexts table.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Exact cycle attribution: fold the flight-recorder span stream into a \
+          call-context tree (total/self cycles, counts), print it with the hottest \
+          contexts, optionally export collapsed stacks and diff against a native run.")
+    Term.(
+      const run_profile $ workload_arg $ cloaked_flag $ scale_arg $ diff_arg $ out_arg
+      $ cap_arg $ top_arg)
+
+let regress_cmd =
+  let baselines_arg =
+    Arg.(
+      value
+      & opt string "bench/baselines.json"
+      & info [ "baselines" ] ~docv:"FILE" ~doc:"Committed baselines file.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:"Cycle-drift budget in percent (overrides the file's; counters always match exactly).")
+  in
+  let update_arg =
+    Arg.(
+      value & flag
+      & info [ "update-baselines" ]
+          ~doc:"Re-measure the suite and rewrite the baselines file instead of comparing.")
+  in
+  let bench_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE" ~doc:"Write the drift table as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "regress"
+       ~doc:
+         "The perf-regression sentinel: replay the E1/E2 suite plus the key VMM \
+          counters and fail (non-zero) on any metric drifting beyond tolerance \
+          against the committed baselines.")
+    Term.(const run_regress $ baselines_arg $ tolerance_arg $ update_arg $ bench_out_arg)
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available kernels and attacks.") Term.(const run_list $ const ())
+
+(* Bare `overshadow-cli` prints this instead of cmdliner's terse usage
+   error, so the tool is discoverable without reading the man page. *)
+let usage_listing =
+  [ ("kernel", "run one SPEC-style compute kernel and report model cycles");
+    ("attack", "run malicious-OS attacks and report leak/detection outcomes");
+    ("counters", "run the fileio workload and dump all VMM event counters");
+    ("chaos", "seeded fault-injection sweep checking the hostile-world invariants");
+    ("recover", "one crash point + metadata-journal recovery replay, narrated");
+    ("crash-matrix", "power-cut every journal/device write site across N seeds");
+    ("soak", "supervised availability soak under sustained lethal fault plans");
+    ("trace", "flight-recorder latency decomposition for one workload");
+    ("trace-overhead", "prove the recorder adds zero model cycles");
+    ("profile", "exact cycle-attribution tree + flamegraph export (--diff-native)");
+    ("regress", "perf-regression sentinel against committed baselines");
+    ("list", "list available kernels and attacks") ]
+
+let run_usage () =
+  Printf.printf
+    "overshadow-cli: Overshadow (ASPLOS 2008) reproduction — cloaked execution on a \
+     simulated VMM.\n\nCommands:\n";
+  List.iter (fun (n, d) -> Printf.printf "  %-15s %s\n" n d) usage_listing;
+  Printf.printf
+    "\nRun `overshadow-cli COMMAND --help` for options.\n\
+     Benchmark tables (E1-E8): dune exec bench/main.exe\n";
+  0
 
 let () =
   let info =
@@ -580,6 +768,6 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info
+       (Cmd.group ~default:Term.(const run_usage $ const ()) info
           [ kernel_cmd; attack_cmd; counters_cmd; chaos_cmd; recover_cmd; crash_matrix_cmd;
-            soak_cmd; trace_cmd; trace_overhead_cmd; list_cmd ]))
+            soak_cmd; trace_cmd; trace_overhead_cmd; profile_cmd; regress_cmd; list_cmd ]))

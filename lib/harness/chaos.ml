@@ -132,6 +132,7 @@ type report = {
   exit_statuses : (int * int option) list;
   trace_failures : string list;
   trace_dropped : int;
+  hot_spots : (string * int) list;
 }
 
 let scan_leaks vmm k =
@@ -182,6 +183,10 @@ let run_once ~seed =
     exit_statuses = List.map (fun pid -> (pid, Kernel.exit_status k ~pid)) pids;
     trace_failures = Trace.Check.verdict trace;
     trace_dropped = Trace.dropped trace;
+    hot_spots =
+      Profile.hot_spots ~root:"chaos"
+        ~total_cycles:(Cost.cycles (Cloak.Vmm.cost vmm))
+        ~n:3 trace;
   }
 
 (* --- invariant checking over many seeds --- *)
@@ -261,6 +266,16 @@ let pp_report ppf r =
   if r.audit_dropped > 0 then
     Format.fprintf ppf "    audit window truncated: %d entries dropped@."
       r.audit_dropped;
+  (match r.hot_spots with
+  | [] ->
+      if r.trace_dropped > 0 then
+        Format.fprintf ppf
+          "    top cost centers unavailable: trace ring dropped %d events@."
+          r.trace_dropped
+  | spots ->
+      Format.fprintf ppf "    top cost centers:%s@."
+        (String.concat ""
+           (List.map (fun (p, cy) -> Printf.sprintf " %s=%dcy" p cy) spots)));
   List.iter
     (fun f -> Format.fprintf ppf "    TRACE %s@." f)
     r.trace_failures;

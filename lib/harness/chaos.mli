@@ -43,6 +43,11 @@ type report = {
           empty both when the run is clean and when the trace ring wrapped
           (see [trace_dropped]) *)
   trace_dropped : int;  (** events evicted from the trace ring *)
+  hot_spots : (string * int) list;
+      (** top self-cycle call contexts of the run ({!Profile.hot_spots}) —
+          the first places to look when the regression sentinel flags
+          drift under this seed's behavior; empty when the trace ring
+          wrapped (see [trace_dropped]) *)
 }
 
 val run_once : seed:int -> report

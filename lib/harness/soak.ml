@@ -193,6 +193,7 @@ type run = {
   vmm : Cloak.Vmm.t;  (* kept for post-run stale-rollback probes *)
   trace_failures : string list;
   trace_dropped : int;
+  hot_spots : (string * int) list;
 }
 
 let scan_leaks vmm k =
@@ -255,6 +256,10 @@ let run_once ~plan ~seed ~supervised =
     vmm;
     trace_failures = Trace.Check.verdict trace;
     trace_dropped = Trace.dropped trace;
+    hot_spots =
+      Profile.hot_spots ~root:(if supervised then "soak-sup" else "soak-unsup")
+        ~total_cycles:(Cost.cycles (Cloak.Vmm.cost vmm))
+        ~n:3 trace;
   }
 
 (* --- invariants --- *)
@@ -323,6 +328,7 @@ type seed_report = {
   recovery_cycles : int;
   audit_dropped : int;
   trace_dropped : int;
+  hot_spots : (string * int) list;
   failures : string list;
 }
 
@@ -390,6 +396,7 @@ let run_seed ~seed =
     recovery_cycles = sup.recovery_cycles;
     audit_dropped = max sup.audit_dropped (max sup'.audit_dropped unsup.audit_dropped);
     trace_dropped = max sup.trace_dropped (max fault_free.trace_dropped unsup.trace_dropped);
+    hot_spots = sup.hot_spots;
     failures = List.rev !fails;
   }
 
@@ -441,7 +448,17 @@ let pp_seed_report ppf r =
      else "")
     (match r.failures with
     | [] -> ""
-    | l -> " FAIL " ^ String.concat "; " l)
+    | l -> " FAIL " ^ String.concat "; " l);
+  match r.hot_spots with
+  | [] ->
+      if r.trace_dropped > 0 then
+        Format.fprintf ppf
+          "    top cost centers unavailable: trace ring dropped %d events@."
+          r.trace_dropped
+  | spots ->
+      Format.fprintf ppf "    top cost centers:%s@."
+        (String.concat ""
+           (List.map (fun (p, cy) -> Printf.sprintf " %s=%dcy" p cy) spots))
 
 let summary_line v =
   Printf.sprintf

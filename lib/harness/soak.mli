@@ -54,6 +54,10 @@ type seed_report = {
       (** worst audit-ring truncation across the seed's runs *)
   trace_dropped : int;
       (** worst flight-recorder ring truncation across the seed's runs *)
+  hot_spots : (string * int) list;
+      (** the supervised run's top self-cycle call contexts
+          ({!Profile.hot_spots}) — where a flagged perf regression most
+          likely lives; empty when that run's trace ring wrapped *)
   failures : string list;
       (** broken invariants (privacy, staleness, determinism, and the
           flight-recorder trace checks over every mode); empty = passed *)

@@ -1,0 +1,284 @@
+(* Exact call-context cycle attribution over a Trace span stream. The
+   fold keeps one frame stack mirroring the recorder's nesting; nodes are
+   keyed by path, so recursion lands in distinct a/b/a nodes and the
+   self/total invariant (node.self = node.total - Σ children.total) holds
+   everywhere by construction. *)
+
+exception Truncated of int
+exception Error of string
+
+type node = {
+  label : string;
+  total : int;
+  self : int;
+  count : int;
+  children : node list;
+}
+
+type t = { root : node; total_cycles : int }
+
+let root t = t.root
+let total_cycles t = t.total_cycles
+
+let label_of_event (ev : Trace.event) =
+  match ev.kind with
+  | Trace.Syscall when ev.site <> "" -> "syscall:" ^ ev.site
+  | k -> Trace.kind_name k
+
+(* --- mutable build tree --- *)
+
+type mnode = {
+  mlabel : string;
+  mutable mtotal : int;
+  mutable mcount : int;
+  mchildren : (string, mnode) Hashtbl.t;
+  mutable morder : string list;  (* child labels, first-seen order *)
+}
+
+let mnode label =
+  { mlabel = label; mtotal = 0; mcount = 0; mchildren = Hashtbl.create 8; morder = [] }
+
+let child_of parent label =
+  match Hashtbl.find_opt parent.mchildren label with
+  | Some c -> c
+  | None ->
+      let c = mnode label in
+      Hashtbl.add parent.mchildren label c;
+      parent.morder <- label :: parent.morder;
+      c
+
+type frame = { fnode : mnode; fkind : Trace.kind; enter : int }
+
+let of_events ~root:root_label ~total_cycles evs =
+  let root = mnode root_label in
+  let stack = ref [] in
+  let last = ref 0 in
+  let top_node () = match !stack with f :: _ -> f.fnode | [] -> root in
+  let close f now =
+    let dur = now - f.enter in
+    let dur = if dur < 0 then 0 else dur in
+    f.fnode.mtotal <- f.fnode.mtotal + dur;
+    f.fnode.mcount <- f.fnode.mcount + 1
+  in
+  List.iter
+    (fun (ev : Trace.event) ->
+      if ev.cycles > !last then last := ev.cycles;
+      match ev.phase with
+      | Trace.Enter ->
+          let node = child_of (top_node ()) (label_of_event ev) in
+          stack := { fnode = node; fkind = ev.kind; enter = ev.cycles } :: !stack
+      | Trace.Exit | Trace.Abort ->
+          (* an abort is an exit that recorded no latency; for attribution
+             both consume cycles up to their stamp *)
+          if List.exists (fun f -> f.fkind = ev.kind) !stack then begin
+            (* frames above the matching one are dangling enters (their
+               spans were unwound by an exception without an exit or
+               abort event); they end, at the latest, where the enclosing
+               span ends *)
+            let rec unwind = function
+              | f :: rest when f.fkind <> ev.kind ->
+                  close f ev.cycles;
+                  unwind rest
+              | f :: rest ->
+                  close f ev.cycles;
+                  rest
+              | [] -> []
+            in
+            stack := unwind !stack
+          end
+          else if ev.phase = Trace.Exit then
+            (* a stray exit (enter predates the stream): keep the event
+               count, attribute no cycles *)
+            let node = child_of (top_node ()) (label_of_event ev) in
+            node.mcount <- node.mcount + 1
+      | Trace.Instant ->
+          let node = child_of (top_node ()) (label_of_event ev) in
+          node.mcount <- node.mcount + 1)
+    evs;
+  (* dangling top-level enters: the run ended while they were open *)
+  List.iter (fun f -> close f !last) !stack;
+  (* freeze, computing self = total - Σ children; sound nesting makes
+     this non-negative at every node *)
+  let rec freeze path (m : mnode) ~total =
+    let kids =
+      List.rev_map (fun l -> Hashtbl.find m.mchildren l) m.morder
+      |> List.map (fun (c : mnode) ->
+             freeze (path ^ ";" ^ c.mlabel) c ~total:c.mtotal)
+      |> List.sort (fun a b -> compare (b.total, b.label) (a.total, a.label))
+    in
+    let child_sum = List.fold_left (fun acc c -> acc + c.total) 0 kids in
+    if child_sum > total then
+      raise
+        (Error
+           (Printf.sprintf
+              "node %s: children sum to %d cycles but the node spans only %d"
+              path child_sum total));
+    { label = m.mlabel; total; self = total - child_sum; count = m.mcount;
+      children = kids }
+  in
+  let root_count = root.mcount + 1 in
+  let frozen = freeze root_label root ~total:total_cycles in
+  { root = { frozen with count = root_count }; total_cycles }
+
+let of_trace ~root ~total_cycles trace =
+  let dropped = Trace.dropped trace in
+  if dropped > 0 then raise (Truncated dropped);
+  of_events ~root ~total_cycles (Trace.events trace)
+
+(* --- queries --- *)
+
+let fold_nodes t ~init ~f =
+  let rec go acc path n =
+    let path = path @ [ n.label ] in
+    let acc = f acc path n in
+    List.fold_left (fun acc c -> go acc path c) acc n.children
+  in
+  go init [] t.root
+
+let top_self t ~n =
+  fold_nodes t ~init:[] ~f:(fun acc path node -> (path, node) :: acc)
+  |> List.sort (fun (_, a) (_, b) -> compare (b.self, b.label) (a.self, a.label))
+  |> List.filteri (fun i _ -> i < n)
+
+let sum_self t = fold_nodes t ~init:0 ~f:(fun acc _ n -> acc + n.self)
+
+let hot_spots ~root ~total_cycles ~n trace =
+  match of_trace ~root ~total_cycles trace with
+  | exception Truncated _ -> []
+  | p ->
+      List.map
+        (fun (path, node) -> (String.concat ";" path, node.self))
+        (top_self p ~n)
+
+(* --- rendering --- *)
+
+let pct ~of_total v =
+  if of_total = 0 then 0.0 else 100.0 *. float_of_int v /. float_of_int of_total
+
+let pp_tree ?(min_pct = 0.1) ppf t =
+  let grand = t.total_cycles in
+  Format.fprintf ppf "@[<v>%-44s %14s %14s %9s %7s@,"
+    "call context" "total cy" "self cy" "count" "total%";
+  Format.fprintf ppf "%s@," (String.make 93 '-');
+  let rec go depth n =
+    let indent = String.make (2 * depth) ' ' in
+    Format.fprintf ppf "%-44s %14d %14d %9d %6.1f%%@,"
+      (indent ^ n.label) n.total n.self n.count (pct ~of_total:grand n.total);
+    let visible, folded =
+      List.partition
+        (fun c -> pct ~of_total:grand c.total >= min_pct || c.total = 0)
+        n.children
+    in
+    List.iter (go (depth + 1)) visible;
+    match folded with
+    | [] -> ()
+    | fs ->
+        let cy = List.fold_left (fun acc c -> acc + c.total) 0 fs in
+        Format.fprintf ppf "%-44s %14d@,"
+          (String.make (2 * (depth + 1)) ' '
+          ^ Printf.sprintf "… %d more below %.2f%%" (List.length fs) min_pct)
+          cy
+  in
+  go 0 t.root;
+  Format.fprintf ppf "@]"
+
+let pp_top ~n ppf t =
+  Format.fprintf ppf "@[<v>%-52s %14s %7s %9s@,"
+    "hottest self-cycle contexts" "self cy" "run%" "count";
+  Format.fprintf ppf "%s@," (String.make 86 '-');
+  List.iter
+    (fun (path, node) ->
+      Format.fprintf ppf "%-52s %14d %6.1f%% %9d@," (String.concat ";" path)
+        node.self
+        (pct ~of_total:t.total_cycles node.self)
+        node.count)
+    (top_self t ~n);
+  Format.fprintf ppf "@]"
+
+let to_collapsed t =
+  let buf = Buffer.create 1024 in
+  fold_nodes t ~init:() ~f:(fun () path n ->
+      if n.self > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "%s %d\n" (String.concat ";" path) n.self));
+  Buffer.contents buf
+
+let of_collapsed text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" then None
+         else
+           match String.rindex_opt line ' ' with
+           | None -> raise (Error ("collapsed line without weight: " ^ line))
+           | Some i ->
+               let path = String.sub line 0 i in
+               let weight = String.sub line (i + 1) (String.length line - i - 1) in
+               (match int_of_string_opt weight with
+               | None -> raise (Error ("bad collapsed weight: " ^ line))
+               | Some w -> Some (String.split_on_char ';' path, w)))
+
+(* --- differential profiles --- *)
+
+type delta = {
+  path : string list;
+  base_total : int;
+  cur_total : int;
+  base_self : int;
+  cur_self : int;
+  base_count : int;
+  cur_count : int;
+}
+
+(* Index a profile's nodes by path *below* the root label, so a cloaked
+   and a native run (different root names) align on syscall paths. *)
+let index t =
+  let tbl = Hashtbl.create 64 in
+  fold_nodes t ~init:() ~f:(fun () path n ->
+      match path with
+      | _root :: rest -> Hashtbl.replace tbl rest n
+      | [] -> ());
+  (* the root itself compares as the empty path *)
+  Hashtbl.replace tbl [] t.root;
+  tbl
+
+let diff ~base ~cur =
+  let b = index base and c = index cur in
+  let keys = Hashtbl.create 64 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) b;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) c;
+  Hashtbl.fold
+    (fun path () acc ->
+      let bn = Hashtbl.find_opt b path and cn = Hashtbl.find_opt c path in
+      let g f d n = match n with Some n -> f n | None -> d in
+      {
+        path;
+        base_total = g (fun n -> n.total) 0 bn;
+        cur_total = g (fun n -> n.total) 0 cn;
+        base_self = g (fun n -> n.self) 0 bn;
+        cur_self = g (fun n -> n.self) 0 cn;
+        base_count = g (fun n -> n.count) 0 bn;
+        cur_count = g (fun n -> n.count) 0 cn;
+      }
+      :: acc)
+    keys []
+  |> List.sort (fun a b ->
+         compare
+           (abs (b.cur_self - b.base_self), b.path)
+           (abs (a.cur_self - a.base_self), a.path))
+
+let pp_diff ?(n = 20) ~base_name ~cur_name ppf deltas =
+  Format.fprintf ppf "@[<v>%-44s %12s %12s %12s %9s@,"
+    "call context (Δ = cur - base)"
+    ("self:" ^ base_name) ("self:" ^ cur_name) "Δself cy" "Δcount";
+  Format.fprintf ppf "%s@," (String.make 93 '-');
+  List.iteri
+    (fun i d ->
+      if i < n then
+        let label = match d.path with [] -> "(whole run)" | p -> String.concat ";" p in
+        Format.fprintf ppf "%-44s %12d %12d %+12d %+9d@," label d.base_self
+          d.cur_self (d.cur_self - d.base_self) (d.cur_count - d.base_count))
+    deltas;
+  let rest = List.length deltas - n in
+  if rest > 0 then Format.fprintf ppf "… %d more paths@," rest;
+  Format.fprintf ppf "@]"

@@ -1,6 +1,9 @@
 (* E2: syscall microbenchmarks — cycles per operation, native (uncloaked
    process on the same VMM) vs cloaked (shim installed), reproducing the
-   paper's microbenchmark table. *)
+   paper's microbenchmark table. Lives in the regress library (not the
+   bench executable) because the perf-regression sentinel replays the
+   same suite against committed baselines; [measure] takes an optional
+   VMM config so the sentinel's tests can inject a perturbed cost model. *)
 
 open Machine
 open Guest
@@ -184,12 +187,12 @@ let echo_server ~request_fd ~response_fd env =
   Uapi.exit u 0
 
 (* Run one micro and return cycles per operation. *)
-let measure ~cloaked (m : micro) =
+let measure ?vconfig ~cloaked (m : micro) =
   let per_op = ref 0 in
   let result =
     match m.shape with
     | Simple setup ->
-        Harness.run_program ~cloaked (fun env ->
+        Harness.run_program ?vconfig ~cloaked (fun env ->
             let u = Uapi.of_env env in
             if cloaked then ignore (Oshim.Shim.install u);
             let op = setup u in
@@ -201,7 +204,7 @@ let measure ~cloaked (m : micro) =
             done;
             per_op := (Cost.cycles (Cloak.Vmm.cost vmm) - c0) / m.iters)
     | Paired setup ->
-        Harness.run ~spawn:(fun k ->
+        Harness.run ?vconfig ~spawn:(fun k ->
             let client env =
               let u = Uapi.of_env env in
               if cloaked then ignore (Oshim.Shim.install u);

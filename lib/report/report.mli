@@ -1,0 +1,56 @@
+(** The shared machine-readable report writer.
+
+    Every benchmark artifact this repo emits ([BENCH_*.json], the committed
+    regression baselines, profile summaries) goes through this one module,
+    so each carries the same envelope: a [schema_version] and a [benchmark]
+    name as the first two fields. Consumers that parse one file parse all
+    of them, and a future field rename bumps one constant instead of
+    hunting down four hand-rolled [Printf] emitters.
+
+    The value type is a plain JSON tree; {!to_string} renders it with
+    stable field order (whatever order the caller built), and
+    {!of_string} parses it back — enough for the regression sentinel to
+    round-trip its own baselines without an external JSON dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val schema_version : int
+(** Bumped whenever the envelope or a shared field changes meaning. *)
+
+val bench : name:string -> (string * t) list -> t
+(** [bench ~name fields] is an [Obj] whose first two members are
+    ["schema_version"] and ["benchmark": name], followed by [fields]. *)
+
+val to_string : t -> string
+(** Render with 2-space indentation and a trailing newline. Field order
+    is preserved; strings are escaped per JSON. *)
+
+val write : path:string -> t -> unit
+(** [to_string] to a file, atomically enough for a build artifact. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Strict JSON parser (objects, arrays, strings, numbers, booleans,
+    null). Raises {!Parse_error} with a position on malformed input. *)
+
+val load : path:string -> t
+(** {!of_string} on a file's contents; [Parse_error] names the file. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val to_int : t -> int option
+(** [Int n] (or an integral [Float]) as [n]. *)
+
+val to_float : t -> float option
+val to_str : t -> string option

@@ -29,7 +29,7 @@ type kind =
   | Quarantine
   | Restart
 
-type phase = Instant | Enter | Exit
+type phase = Instant | Enter | Exit | Abort
 
 type event = {
   kind : kind;
@@ -167,7 +167,13 @@ type t = {
   mutable clock : unit -> int;
   mutable cur : ctx;
   hists : (kind, Hist.h) Hashtbl.t;
-  open_spans : (kind, int list) Hashtbl.t;  (* enter-cycle stacks *)
+  open_spans : (kind, int list) Hashtbl.t;  (* per-kind enter-cycle stacks *)
+  mutable span_stack : (kind * string) list;
+      (* the global open-span stack, innermost first: which nested context
+         the next event lands in. Threaded by enter/exit/abort so a
+         re-reader (the profiler) can sanity-check nesting without
+         replaying the stream itself. *)
+  mutable last_cycles : int;  (* clock at the most recent recorded event *)
 }
 
 let dummy =
@@ -186,6 +192,8 @@ let null =
     cur = Kernel;
     hists = Hashtbl.create 1;
     open_spans = Hashtbl.create 1;
+    span_stack = [];
+    last_cycles = 0;
   }
 
 let ring ?(cap = default_cap) () =
@@ -201,6 +209,8 @@ let ring ?(cap = default_cap) () =
     cur = Kernel;
     hists = Hashtbl.create 31;
     open_spans = Hashtbl.create 31;
+    span_stack = [];
+    last_cycles = 0;
   }
 
 let enabled t = t.live
@@ -218,7 +228,9 @@ let reset t =
     t.total <- 0;
     Array.fill t.buf 0 t.cap dummy;
     Hashtbl.reset t.hists;
-    Hashtbl.reset t.open_spans
+    Hashtbl.reset t.open_spans;
+    t.span_stack <- [];
+    t.last_cycles <- 0
   end
 
 let push t ev =
@@ -230,10 +242,37 @@ let push t ev =
     t.buf.(t.start) <- ev;
     t.start <- (t.start + 1) mod t.cap
   end;
-  t.total <- t.total + 1
+  t.total <- t.total + 1;
+  if ev.cycles > t.last_cycles then t.last_cycles <- ev.cycles
 
 let events t =
   List.init t.len (fun i -> t.buf.((t.start + i) mod t.cap))
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.start + i) mod t.cap)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun ev -> acc := f !acc ev);
+  !acc
+
+let open_stack t = t.span_stack
+let open_depth t = List.length t.span_stack
+let last_cycles t = t.last_cycles
+
+(* Remove the innermost frame of [kind] from the global stack; frames
+   above it (dangling enters whose spans were aborted by an exception)
+   are discarded with it — they can never be exited again. *)
+let stack_pop t kind =
+  let rec drop = function
+    | (k, _) :: rest when k = kind -> rest
+    | _ :: rest -> drop rest
+    | [] -> []
+  in
+  if List.exists (fun (k, _) -> k = kind) t.span_stack then
+    t.span_stack <- drop t.span_stack
 
 let record t phase ctx page pid site aux kind =
   push t
@@ -256,6 +295,7 @@ let span_enter t ?ctx ?(page = -1) ?(pid = -1) ?(site = "") ?(aux = 0) kind =
     let stack = try Hashtbl.find t.open_spans kind with Not_found -> [] in
     let now = t.clock () in
     Hashtbl.replace t.open_spans kind (now :: stack);
+    t.span_stack <- (kind, site) :: t.span_stack;
     push t
       { kind; phase = Enter; cycles = now;
         ctx = (match ctx with Some c -> c | None -> t.cur); page; pid; site; aux }
@@ -277,16 +317,22 @@ let span_exit t ?ctx ?(page = -1) ?(pid = -1) ?(site = "") ?(aux = 0) kind =
         Hashtbl.replace t.open_spans kind rest;
         Hist.add (hist_for t kind) (now - entered)
     | Some [] | None -> ());
+    stack_pop t kind;
     push t
       { kind; phase = Exit; cycles = now;
         ctx = (match ctx with Some c -> c | None -> t.cur); page; pid; site; aux }
   end
 
 let span_abort t kind =
-  if t.live then
-    match Hashtbl.find_opt t.open_spans kind with
+  if t.live then begin
+    (match Hashtbl.find_opt t.open_spans kind with
     | Some (_ :: rest) -> Hashtbl.replace t.open_spans kind rest
-    | Some [] | None -> ()
+    | Some [] | None -> ());
+    stack_pop t kind;
+    push t
+      { kind; phase = Abort; cycles = t.clock (); ctx = t.cur; page = -1;
+        pid = -1; site = ""; aux = 0 }
+  end
 
 let with_span t ?ctx ?page ?pid ?site ?aux kind f =
   if not t.live then f ()
@@ -374,7 +420,7 @@ let to_chrome_json t =
       let ph, extra =
         match ev.phase with
         | Enter -> ("B", "")
-        | Exit -> ("E", "")
+        | Exit | Abort -> ("E", "")  (* aborts close their B, keeping tracks balanced *)
         | Instant -> ("i", ",\"s\":\"t\"")
       in
       Buffer.add_string buf
@@ -407,6 +453,9 @@ module Check = struct
     List.iter
       (fun ev ->
         match (ev.kind, ev.phase) with
+        (* an aborted span's operation did not complete: for every rule it
+           must count as if it never happened *)
+        | _, Abort -> ()
         | Mac_check, _ -> Hashtbl.replace mac_ok (ev.site, ev.page) ev.aux
         | Page_decrypt, Exit ->
             (match Hashtbl.find_opt mac_ok (ev.site, ev.page) with

@@ -48,7 +48,10 @@ type kind =
   | Quarantine
   | Restart
 
-type phase = Instant | Enter | Exit
+type phase = Instant | Enter | Exit | Abort
+(** [Abort] closes a span that was unwound by an exception: no latency is
+    recorded, but the event keeps the stream well-nested so re-readers
+    (the profiler, the Chrome export) can pair every enter. *)
 
 type event = {
   kind : kind;
@@ -109,9 +112,11 @@ val span_exit :
     no open span records the event but updates no histogram. *)
 
 val span_abort : t -> kind -> unit
-(** Discard the most recent open span of this kind without recording an
-    event or a latency — for spans unwound by an exception, so a later
-    exit cannot pair with an abandoned enter. *)
+(** Close the most recent open span of this kind without recording a
+    latency — for spans unwound by an exception, so a later exit cannot
+    pair with an abandoned enter. Records an [Abort] event (stamped at
+    the unwind clock) so the stream itself stays well-nested; the
+    invariant pass ignores [Abort] events entirely. *)
 
 val with_span :
   t -> ?ctx:ctx -> ?page:int -> ?pid:int -> ?site:string -> ?aux:int -> kind ->
@@ -128,6 +133,25 @@ val dropped : t -> int
 val capacity : t -> int
 val events : t -> event list
 (** Retained events, oldest first. *)
+
+val iter : t -> (event -> unit) -> unit
+(** Re-read the retained stream in order without materializing a list —
+    the cheap path for consumers (the profiler, the invariant pass) that
+    fold the stream more than once. *)
+
+val fold : t -> init:'a -> f:('a -> event -> 'a) -> 'a
+
+val open_stack : t -> (kind * string) list
+(** The global open-span context stack, innermost first, as threaded by
+    {!span_enter} / {!span_exit} / {!span_abort}: each frame is the span's
+    kind and site. Empty after a run that closed every span — a non-empty
+    stack means an enter is dangling (its span was unwound without an
+    abort), which a hierarchical attribution should surface. *)
+
+val open_depth : t -> int
+
+val last_cycles : t -> int
+(** The clock stamp of the most recent recorded event (0 if none). *)
 
 val reset : t -> unit
 
