@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test chaos-smoke recovery soak trace profile regress ci clean
+.PHONY: all build test chaos-smoke recovery soak migrate trace profile regress ci clean
 
 all: build
 
@@ -33,6 +33,14 @@ recovery: build
 soak: build
 	$(DUNE) exec bin/overshadow_cli.exe -- soak --seeds 20 --bench-out BENCH_availability.json
 
+# Live migration over a hostile, lossy channel: per seed a clean, a
+# hostile and a blackhole (all-loss) migration of a cloaked process
+# between two VMMs, plus a crash matrix on the channel sites; checks
+# single-incarnation, wire privacy, replay/tamper rejection and bounded
+# downtime, and emits the downtime percentiles as BENCH_migration.json.
+migrate: build
+	$(DUNE) exec bin/overshadow_cli.exe -- migrate --seeds 20 --bench-out BENCH_migration.json
+
 # Flight-recorder overhead proof: run cloaked workloads under the null
 # sink and under a live ring and assert both add zero model cycles over
 # an untraced baseline; emits BENCH_trace_overhead.json. Also prints the
@@ -56,7 +64,7 @@ regress: build
 regress-update: build
 	$(DUNE) exec bin/overshadow_cli.exe -- regress --update-baselines
 
-ci: test chaos-smoke recovery soak trace regress profile
+ci: test chaos-smoke recovery soak migrate trace regress profile
 
 clean:
 	$(DUNE) clean

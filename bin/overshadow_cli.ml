@@ -8,6 +8,7 @@
      overshadow-cli recover --site blk-write  one crash + recovery replay, narrated
      overshadow-cli crash-matrix --seeds 20   every crash point x N seeds
      overshadow-cli soak --seeds 20           supervised availability soak
+     overshadow-cli migrate --seeds 20        live migration over a hostile channel
      overshadow-cli trace fileio --cloaked    flight-recorder latency decomposition
      overshadow-cli trace-overhead            prove the recorder costs zero model cycles
      overshadow-cli profile fileio --cloaked  exact cycle attribution + flamegraph export
@@ -255,6 +256,64 @@ let run_soak seeds base verbose bench_out =
       1
   | fails ->
       List.iter (fun (seed, what) -> Printf.printf "FAILED seed %d: %s\n" seed what) fails;
+      1
+
+let run_migrate seeds base crash_seeds verbose bench_out =
+  let progress (r : Harness.Migrate.seed_report) =
+    if verbose || r.Harness.Migrate.failures <> [] then
+      Format.printf "%a@." Harness.Migrate.pp_seed_report r
+  in
+  let t0 = Sys.time () in
+  let v =
+    Harness.Migrate.run_seeds ~progress
+      ~seeds:(Harness.Chaos.seeds_from ~base ~count:seeds)
+      ()
+  in
+  let c =
+    Harness.Migrate.run_crash_matrix
+      ~seeds:(Harness.Chaos.seeds_from ~base ~count:crash_seeds)
+      ()
+  in
+  let wall_s = Sys.time () -. t0 in
+  Printf.printf "%s\n" (Harness.Migrate.summary_line v);
+  Printf.printf
+    "  crash matrix: %d points over the channel sites, %d post-fence, %d failures\n"
+    c.Harness.Migrate.crash_points c.Harness.Migrate.crash_fenced
+    (List.length c.Harness.Migrate.matrix_failures);
+  (match bench_out with
+  | None -> ()
+  | Some path ->
+      Report.write ~path
+        (Report.bench ~name:"migration"
+           [ ("seeds", Report.Int v.Harness.Migrate.seeds_run);
+             ("rounds_per_run", Report.Int Harness.Migrate.rounds);
+             ("clean_committed", Report.Int v.Harness.Migrate.clean_committed);
+             ("hostile_committed", Report.Int v.Harness.Migrate.hostile_committed);
+             ("hostile_aborted", Report.Int v.Harness.Migrate.hostile_aborted);
+             ("attempts", Report.Int v.Harness.Migrate.total_attempts);
+             ("retries", Report.Int v.Harness.Migrate.total_retries);
+             ("chunk_mac_failures", Report.Int v.Harness.Migrate.total_mac_failures);
+             ("breaker_trips", Report.Int v.Harness.Migrate.total_breaker_trips);
+             ("downtime_p50_cycles", Report.Int v.Harness.Migrate.p50_downtime);
+             ("downtime_p95_cycles", Report.Int v.Harness.Migrate.p95_downtime);
+             ("wire_frames", Report.Int v.Harness.Migrate.total_wire_frames);
+             ("crash_points", Report.Int c.Harness.Migrate.crash_points);
+             ("crash_fenced", Report.Int c.Harness.Migrate.crash_fenced);
+             ("wall_s", Report.Float wall_s);
+             ( "failures",
+               Report.Int
+                 (List.length v.Harness.Migrate.failures
+                 + List.length c.Harness.Migrate.matrix_failures) ) ]);
+      Printf.printf "  wrote %s\n" path);
+  match (v.Harness.Migrate.failures, c.Harness.Migrate.matrix_failures) with
+  | [], [] ->
+      Printf.printf
+        "all invariants held: one incarnation, no wire plaintext, no replayed or \
+         tampered blob accepted, bounded downtime, deterministic audit\n";
+      0
+  | fails, cfails ->
+      List.iter (fun (seed, what) -> Printf.printf "FAILED seed %d: %s\n" seed what) fails;
+      List.iter (fun (point, what) -> Printf.printf "FAILED %s: %s\n" point what) cfails;
       1
 
 (* --- flight recorder --- *)
@@ -614,6 +673,39 @@ let soak_cmd =
           rejection and audit determinism.")
     Term.(const run_soak $ seeds_arg $ base_arg $ verbose_arg $ bench_out_arg)
 
+let migrate_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N" ~doc:"Number of workload seeds.")
+  in
+  let base_arg =
+    Arg.(value & opt int 1 & info [ "base" ] ~docv:"SEED" ~doc:"First seed of the sweep.")
+  in
+  let crash_seeds_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "crash-seeds" ] ~docv:"N"
+          ~doc:"Seeds fed to the channel-site crash matrix.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print every seed's report, not just failures.")
+  in
+  let bench_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE" ~doc:"Write a JSON benchmark summary to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:
+         "Live-migrate a cloaked process between two VMMs over a hostile, lossy \
+          channel: clean, hostile and blackhole runs per seed plus a crash matrix \
+          on the channel sites, checking single-incarnation, wire privacy, \
+          replay/tamper rejection and bounded downtime.")
+    Term.(
+      const run_migrate $ seeds_arg $ base_arg $ crash_seeds_arg $ verbose_arg
+      $ bench_out_arg)
+
 let trace_cmd =
   let workload_arg =
     Arg.(
@@ -745,6 +837,7 @@ let usage_listing =
     ("recover", "one crash point + metadata-journal recovery replay, narrated");
     ("crash-matrix", "power-cut every journal/device write site across N seeds");
     ("soak", "supervised availability soak under sustained lethal fault plans");
+    ("migrate", "live-migrate a cloaked process over a hostile, lossy channel");
     ("trace", "flight-recorder latency decomposition for one workload");
     ("trace-overhead", "prove the recorder adds zero model cycles");
     ("profile", "exact cycle-attribution tree + flamegraph export (--diff-native)");
@@ -770,4 +863,5 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default:Term.(const run_usage $ const ()) info
           [ kernel_cmd; attack_cmd; counters_cmd; chaos_cmd; recover_cmd; crash_matrix_cmd;
-            soak_cmd; trace_cmd; trace_overhead_cmd; profile_cmd; regress_cmd; list_cmd ]))
+            soak_cmd; migrate_cmd; trace_cmd; trace_overhead_cmd; profile_cmd; regress_cmd;
+            list_cmd ]))

@@ -259,7 +259,7 @@ and unseal_body vmm blob =
 
 (* --- install --- *)
 
-let install vmm restored ~write_page =
+let install ?(consume = false) vmm restored ~write_page =
   List.iter
     (fun p ->
       match p.cipher with
@@ -272,4 +272,10 @@ let install vmm restored ~write_page =
     restored.pages;
   (Vmm.counters vmm).seal_restores <- (Vmm.counters vmm).seal_restores + 1;
   Inject.Audit.record (Vmm.audit vmm) "seal install resource=%s gen=%d pages=%d"
-    (Resource.tag restored.resource) restored.gen (List.length restored.pages)
+    (Resource.tag restored.resource) restored.gen (List.length restored.pages);
+  (* single-use restore: retire the installed generation so a second
+     delivery of the same blob — here or, via the journal, at a restarted
+     VMM — raises Stale_checkpoint instead of resuming twice *)
+  if consume then
+    Vmm.retire_seal_generation vmm ~tag:(Resource.tag restored.resource)
+      ~gen:restored.gen

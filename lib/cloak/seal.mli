@@ -65,9 +65,18 @@ val unseal : Vmm.t -> bytes -> restored
     generation table absorbs the blob's generation. Subject to the
     [Restore] injection site. *)
 
-val install : Vmm.t -> restored -> write_page:(int -> bytes -> unit) -> unit
+val install :
+  ?consume:bool -> Vmm.t -> restored -> write_page:(int -> bytes -> unit) -> unit
 (** Reinstall a verified checkpoint into a fresh incarnation: restores
     each page's metadata entry in the Encrypted state and hands the
     ciphertext to [write_page idx cipher] (the kernel writes it into the
     respawned process's pages through its Sys view; the next App-view
-    touch decrypts and verifies as usual). *)
+    touch decrypts and verifies as usual).
+
+    [~consume:true] makes the restore {e single-use}: after installation
+    the blob's generation is retired ({!Vmm.retire_seal_generation},
+    journal-anchored), so re-unsealing the same blob — at this VMM or any
+    VMM that inherits the journal — raises [Stale_checkpoint]. Migration
+    uses this at the destination so a replayed or double-delivered blob
+    can never produce a second incarnation. Default [false], preserving
+    the supervisor's restart-from-latest behaviour. *)

@@ -1063,4 +1063,15 @@ let restore_seal_generation t ~tag ~gen =
     Trace.emit t.trace ~ctx:Trace.Vmm ~site:tag ~aux:gen Trace.Seal_gen_bump
   end
 
+let retire_seal_generation t ~tag ~gen =
+  let target = gen + 1 in
+  if target > seal_generation t ~tag then begin
+    Hashtbl.replace t.seal_gens tag target;
+    Trace.emit t.trace ~ctx:Trace.Vmm ~site:tag ~aux:target Trace.Seal_gen_bump;
+    (match t.journal with
+    | Some j -> Journal.record j (Seal { tag; gen = target })
+    | None -> ());
+    Inject.Audit.record t.audit "seal retire resource=%s gen=%d" tag gen
+  end
+
 let fold_meta t resource f init = Metadata.fold_resource t.meta resource f init

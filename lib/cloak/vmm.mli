@@ -258,6 +258,15 @@ val restore_seal_generation : t -> tag:string -> gen:int -> unit
 (** Recovery-side reinstall; keeps the maximum of the known and restored
     generations. *)
 
+val retire_seal_generation : t -> tag:string -> gen:int -> unit
+(** Single-use anchoring: advance the resource's seal generation {e past}
+    [gen], journaling the advance (write-ahead, like {!bump_seal_generation}).
+    After retiring, any attempt to unseal the generation-[gen] blob at this
+    VMM raises [Stale_checkpoint] — this is how a migration source fences
+    itself before the destination commits, making double-resume structurally
+    impossible even before any further checkpoint lands. No-op if the
+    resource already moved past [gen]. *)
+
 val fold_meta : t -> Resource.t -> (int -> Metadata.entry -> 'a -> 'a) -> 'a -> 'a
 (** Fold over the resource's per-page metadata entries (checkpoint capture
     enumerates cloaked pages this way). *)

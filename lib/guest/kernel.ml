@@ -96,6 +96,12 @@ type proc = {
   swap_map : (Addr.vpn, int) Hashtbl.t;
 }
 
+(* What a migration drain handler decides after the transfer attempt:
+   commit (the destination owns the process now; the local incarnation
+   terminates) or abort (nothing happened; the syscall returns normally
+   and the process keeps running here). *)
+type migration_decision = Mig_commit | Mig_abort
+
 (* Supervisor bookkeeping for one cloaked process: restart policy and
    budget, the last two sealed checkpoints (the previous one survives only
    so harnesses can prove rollback to it is refused), and availability
@@ -113,6 +119,12 @@ type supervision = {
   mutable respawning : bool;  (* a respawn is on the stack: nested retries
                                  must not double-count recovery cycles *)
   mutable kill_statuses : int list;  (* fatal exits observed, newest first *)
+  mutable migration : (bytes -> migration_decision) option;
+      (* one-shot drain handler armed by request_migration; fires at the
+         next quiesce point (sys_checkpoint) with the fresh sealed blob *)
+  mutable migrations_attempted : int;
+  mutable migrations_completed : int;
+  mutable migrations_aborted : int;
 }
 
 type t = {
@@ -404,6 +416,10 @@ let spawn_supervised t ?(policy = default_policy) prog =
       recovery_cycles = 0;
       respawning = false;
       kill_statuses = [];
+      migration = None;
+      migrations_attempted = 0;
+      migrations_completed = 0;
+      migrations_aborted = 0;
     };
   pid
 
@@ -1017,10 +1033,44 @@ let capture_checkpoint t proc sup =
   sup.syscalls_since <- 0;
   Cloak.Vmm.seal_generation t.vmm ~tag:(Cloak.Resource.tag resource)
 
+let migrated_exit_status = -4
+
 let sys_checkpoint t proc =
   match Hashtbl.find_opt t.supervised proc.pid with
   | None -> err Errno.EINVAL
-  | Some sup -> Done (Abi.Int (capture_checkpoint t proc sup))
+  | Some sup -> (
+      let gen = capture_checkpoint t proc sup in
+      match sup.migration with
+      | None -> Done (Abi.Int gen)
+      | Some handler -> (
+          (* drain point: the process is quiesced at a syscall boundary and
+             the checkpoint just captured is the blob that migrates. The
+             handler (the migration driver) runs the whole transfer here —
+             the process is stopped for exactly its duration. A handler
+             that raises (e.g. Vmm_crash from a channel crash-point)
+             unwinds like any power cut. *)
+          sup.migration <- None;
+          sup.migrations_attempted <- sup.migrations_attempted + 1;
+          let c = Cloak.Vmm.counters t.vmm in
+          c.mig_attempts <- c.mig_attempts + 1;
+          let blob =
+            match sup.checkpoint with Some b -> b | None -> assert false
+          in
+          match handler blob with
+          | Mig_abort ->
+              (* graceful abort: nothing was staled; the syscall returns
+                 normally and the process keeps running at the source *)
+              sup.migrations_aborted <- sup.migrations_aborted + 1;
+              c.mig_aborts <- c.mig_aborts + 1;
+              Done (Abi.Int gen)
+          | Mig_commit ->
+              (* the destination owns the process now. The migrated status
+                 is deliberately outside the fatal set (-2/-3/137), so the
+                 supervisor never respawns this incarnation — the source
+                 scrubs and stays fenced. *)
+              sup.migrations_completed <- sup.migrations_completed + 1;
+              c.mig_completed <- c.mig_completed + 1;
+              Terminate migrated_exit_status))
 
 (* Auto-cadence: count completed syscalls and capture at the policy's
    interval. Runs inside handle_syscall's containment boundary, so a
@@ -1036,6 +1086,85 @@ let maybe_auto_checkpoint t proc =
           Inject.Audit.record (Cloak.Vmm.audit t.vmm)
             "checkpoint skipped pid=%d" proc.pid)
   | Some _ | None -> ()
+
+(* --- live migration (see Harness.Migrate for the driver) --- *)
+
+let request_migration t ~pid handler =
+  match Hashtbl.find_opt t.supervised pid with
+  | None -> invalid_arg "Kernel.request_migration: pid not supervised"
+  | Some sup -> sup.migration <- Some handler
+
+(* Destination side: install a transferred sealed checkpoint as a fresh
+   supervised incarnation. Mirrors the respawn construct, but the blob is
+   consumed — its generation is retired at install so a replayed delivery
+   (here or at any VMM sharing the journal) raises Stale_checkpoint — and
+   a fresh local checkpoint is captured immediately so supervision can
+   restart the adopted process without the retired blob. The pid comes
+   from the blob and must be free in this kernel: adopt before spawning
+   anything else. *)
+let adopt_migrated t ?(policy = default_policy) ~prog blob =
+  let restored = Cloak.Seal.unseal t.vmm blob in
+  let pid =
+    match restored.Cloak.Seal.resource with
+    | Cloak.Resource.Anon pid -> pid
+    | Cloak.Resource.Shm _ ->
+        invalid_arg "Kernel.adopt_migrated: not a process checkpoint"
+  in
+  let proc = alloc_proc ~pid t ~parent:0 ~cloaked:true in
+  (* the adopted pid came from the source; fresh spawns here must not
+     collide with it *)
+  if pid >= t.next_pid then t.next_pid <- pid + 1;
+  List.iter
+    (fun (a : area) ->
+      if a.cloaked_area && a.pages > 0 then
+        Cloak.Vmm.uncloak_range t.vmm ~asid:pid ~start_vpn:a.start_vpn)
+    proc.areas;
+  (match parse_layout restored.Cloak.Seal.layout with
+  | Some (brk_vpn, mmap_next, areas) ->
+      proc.areas <- areas;
+      proc.brk_vpn <- brk_vpn;
+      proc.mmap_next <- mmap_next
+  | None -> ());
+  List.iter (cloak_area t proc) proc.areas;
+  let write_page vpn cipher =
+    let ppn =
+      match Page_table.lookup proc.pt vpn with
+      | Some pte -> pte.ppn
+      | None -> map_user_page t proc vpn
+    in
+    Cloak.Vmm.phys_write t.vmm ppn ~off:0 cipher
+  in
+  Cloak.Seal.install ~consume:true t.vmm restored ~write_page;
+  proc.regs <- Cloak.Transfer.copy_regs restored.Cloak.Seal.regs;
+  proc.env.restored <- true;
+  proc.env.incarnation <- 1;
+  let sup =
+    {
+      policy;
+      prog;
+      restarts = 0;
+      broken = false;
+      checkpoint = Some blob;
+      prev_checkpoint = None;
+      checkpoints = 0;
+      syscalls_since = 0;
+      recovery_cycles = 0;
+      respawning = false;
+      kill_statuses = [];
+      migration = None;
+      migrations_attempted = 0;
+      migrations_completed = 0;
+      migrations_aborted = 0;
+    }
+  in
+  Hashtbl.replace t.supervised pid sup;
+  (try ignore (capture_checkpoint t proc sup)
+   with Errno.Error _ ->
+     Inject.Audit.record (Cloak.Vmm.audit t.vmm)
+       "adopt checkpoint skipped pid=%d" pid);
+  proc.task <- Some (Start prog);
+  enqueue t proc;
+  pid
 
 let sys_fork t proc child_prog =
   (* Bring the parent's swapped pages back first so the cloak metadata that
@@ -1434,6 +1563,9 @@ type supervision_stats = {
   sup_kill_statuses : int list;  (* oldest first *)
   sup_last_checkpoint : bytes option;
   sup_prev_checkpoint : bytes option;
+  sup_migrations_attempted : int;
+  sup_migrations_completed : int;
+  sup_migrations_aborted : int;
 }
 
 let supervision_stats t ~pid =
@@ -1450,4 +1582,7 @@ let supervision_stats t ~pid =
           sup_kill_statuses = List.rev s.kill_statuses;
           sup_last_checkpoint = s.checkpoint;
           sup_prev_checkpoint = s.prev_checkpoint;
+          sup_migrations_attempted = s.migrations_attempted;
+          sup_migrations_completed = s.migrations_completed;
+          sup_migrations_aborted = s.migrations_aborted;
         }

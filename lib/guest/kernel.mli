@@ -70,6 +70,38 @@ val spawn_supervised : t -> ?policy:restart_policy -> Abi.program -> int
 val run : t -> unit
 (** Drive the scheduler until every process has exited. *)
 
+(** {1 Live migration}
+
+    The kernel's half of live migration is just the drain hook and the
+    adopt path; the transfer itself is {!Cloak.Migrate} driven by
+    [Harness.Migrate]. *)
+
+type migration_decision = Mig_commit | Mig_abort
+
+val migrated_exit_status : int
+(** Exit status ([-4]) of a process whose migration committed. Outside the
+    fatal set, so the supervisor never respawns a migrated-away process —
+    the source stays fenced. *)
+
+val request_migration : t -> pid:int -> (bytes -> migration_decision) -> unit
+(** Arm a one-shot drain handler on a supervised pid. At the process's
+    next quiesce point (its next [Checkpoint] hypercall), a fresh sealed
+    checkpoint is captured and the handler runs the transfer with the
+    process stopped. [Mig_commit] terminates the local incarnation with
+    {!migrated_exit_status}; [Mig_abort] returns from the syscall normally
+    — the process keeps running here and nothing was staled. A handler
+    that raises [Inject.Vmm_crash] unwinds {!run} like a power cut.
+    Raises [Invalid_argument] if [pid] is not supervised. *)
+
+val adopt_migrated : t -> ?policy:restart_policy -> prog:Abi.program -> bytes -> int
+(** Destination side: unseal a transferred checkpoint blob and install it
+    as a supervised cloaked process (pid taken from the blob; it must be
+    free in this kernel, so adopt before spawning anything else). The blob
+    is consumed — {!Cloak.Seal.install} retires its generation, so a
+    replayed or double-delivered blob raises [Stale_checkpoint] instead of
+    producing a second incarnation — and a fresh local checkpoint is
+    captured immediately for supervision. Returns the pid. *)
+
 val exit_status : t -> pid:int -> int option
 (** The recorded exit status of a finished process. Security-fault victims
     report status [-2]; machine-check victims (a stale translation reached
@@ -95,6 +127,9 @@ type supervision_stats = {
   sup_prev_checkpoint : bytes option;
       (** the one before it — retained so harnesses can prove that rolling
           back to it raises [Stale_checkpoint] *)
+  sup_migrations_attempted : int;
+  sup_migrations_completed : int;
+  sup_migrations_aborted : int;
 }
 
 val supervision_stats : t -> pid:int -> supervision_stats option

@@ -1,24 +1,43 @@
 (* The one bounded retry-with-backoff policy shared by every transient-
-   error path in the guest (page cache, swap, journal store). See
-   retry.mli. *)
+   error path in the guest (page cache, swap, journal store) and by the
+   migration driver in the harness. See retry.mli. *)
 
 open Machine
 
-let with_backoff ~limit ~retryable ~charge ~base_cost ~exhausted f =
+exception Deadline_exceeded
+
+let with_backoff ?deadline_cycles ?jitter ~limit ~retryable ~charge ~base_cost
+    ~exhausted f =
   if limit < 0 then invalid_arg "Retry.with_backoff: negative limit";
   if base_cost < 0 then invalid_arg "Retry.with_backoff: negative base_cost";
+  (match deadline_cycles with
+  | Some d when d < 0 -> invalid_arg "Retry.with_backoff: negative deadline"
+  | _ -> ());
+  let spent = ref 0 in
   let rec go attempt =
     try f ()
     with e when retryable e ->
-      charge ~cycles:(base_cost * (1 lsl attempt));
-      if attempt >= limit then raise exhausted else go (attempt + 1)
+      let backoff = base_cost * (1 lsl attempt) in
+      let backoff =
+        match jitter with
+        | None -> backoff
+        | Some r when backoff > 0 -> backoff + Oscrypto.Prng.int r backoff
+        | Some _ -> backoff
+      in
+      charge ~cycles:backoff;
+      spent := !spent + backoff;
+      let past_deadline =
+        match deadline_cycles with Some d -> !spent > d | None -> false
+      in
+      if attempt >= limit || past_deadline then raise exhausted
+      else go (attempt + 1)
   in
   go 0
 
 let io_retry_limit = 3
 
-let disk vmm f =
-  with_backoff ~limit:io_retry_limit
+let disk ?deadline_cycles ?jitter vmm f =
+  with_backoff ?deadline_cycles ?jitter ~limit:io_retry_limit
     ~retryable:(function Blockdev.Io_error _ -> true | _ -> false)
     ~charge:(fun ~cycles ->
       let c = Cloak.Vmm.counters vmm in

@@ -2,9 +2,18 @@
     transient-device-error path in the guest. Previously the page cache and
     the swap path each carried their own copy of this loop; keeping one
     implementation keeps the cycle-charging (and therefore the
-    deterministic audit/cost story) identical everywhere. *)
+    deterministic audit/cost story) identical everywhere. The migration
+    driver ({!Harness.Migrate}) reuses the same loop with a deadline and
+    seeded jitter, so its per-chunk robustness story is this one tested
+    policy rather than a private reimplementation. *)
+
+exception Deadline_exceeded
+(** A ready-made [exhausted] exception for callers that want to distinguish
+    "ran out of budget" from the path's usual error. *)
 
 val with_backoff :
+  ?deadline_cycles:int ->
+  ?jitter:Oscrypto.Prng.t ->
   limit:int ->
   retryable:(exn -> bool) ->
   charge:(cycles:int -> unit) ->
@@ -20,14 +29,24 @@ val with_backoff :
     instead. [f] therefore runs at most [limit + 1] times, [charge] is
     invoked exactly once per failure, and success after [k] failures has
     charged exactly [k] backoffs. Non-retryable exceptions propagate
-    unchanged. *)
+    unchanged.
+
+    [?jitter] adds a seeded uniform draw in [0, backoff) to each backoff
+    (deterministic for a given PRNG state — desynchronizes retry storms
+    without breaking reproducibility). [?deadline_cycles] bounds the
+    {e cumulative} backoff budget: when the charges for a failure push the
+    total past the deadline, [exhausted] is raised even if attempts
+    remain. Omitting both leaves the historical behaviour byte-identical. *)
 
 val io_retry_limit : int
 (** Retries granted to transient device errors before EIO (3). *)
 
-val disk : Cloak.Vmm.t -> (unit -> 'a) -> 'a
+val disk :
+  ?deadline_cycles:int -> ?jitter:Oscrypto.Prng.t -> Cloak.Vmm.t ->
+  (unit -> 'a) -> 'a
 (** The guest's device-I/O instance: retries {!Blockdev.Io_error} up to
     {!io_retry_limit} times, charging idle disk waits ([disk_op * 2^a])
     and bumping the [io_retries] counter once per failure, then raises
     [Errno.Error EIO]. A failed DMA has no effect, so the retry is always
-    safe. *)
+    safe. [?deadline_cycles] / [?jitter] pass through to
+    {!with_backoff}. *)

@@ -1,6 +1,7 @@
 module Chaos = Chaos
 module Crash = Crash
 module Soak = Soak
+module Migrate = Migrate
 
 open Machine
 open Guest

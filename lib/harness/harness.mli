@@ -15,6 +15,11 @@ module Soak = Soak
     checkpoints under sustained lethal fault plans; see
     {!Soak.run_seeds}). *)
 
+module Migrate = Migrate
+(** Re-export: live migration of a cloaked process over a hostile, lossy
+    channel, with a crash matrix on both sides (see
+    {!Migrate.run_seeds}). *)
+
 type result = {
   cycles : int;                 (** model cycles consumed by the scenario *)
   counters : Machine.Counters.t;(** event deltas over the scenario *)

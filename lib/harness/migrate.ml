@@ -1,0 +1,753 @@
+(* Live migration of a cloaked process over a hostile, lossy channel:
+   drain at the source, chunked authenticated transfer, adopt-and-resume
+   at the destination. See migrate.mli for the invariants. *)
+
+open Machine
+open Guest
+
+(* --- the workload ---
+
+   A restart-aware cloaked service in the soak idiom (state page mmapped
+   first, counter + canary, one OS-visible progress byte per unit, sealed
+   checkpoint after every unit). The checkpoint hypercall doubles as the
+   quiesce point where the drain handler fires; a migrated incarnation
+   reads the counter back from the restored cloaked page and resumes at
+   the destination from where the source stopped. *)
+
+let rounds = 16
+let unit_cycles = 20_000
+let counter_off = 0
+let canary_off = 64
+
+let service (env : Abi.env) =
+  let u = Uapi.of_env env in
+  let restored = Uapi.restored u in
+  let state_vpn =
+    if restored then Kernel.mmap_base_vpn
+    else Uapi.mmap u ~pages:1 ~cloaked:true ()
+  in
+  let sh = Oshim.Shim.install u in
+  let base = Addr.vaddr_of_vpn state_vpn in
+  let read_counter () =
+    Int32.to_int (Bytes.get_int32_le (Uapi.load u ~vaddr:(base + counter_off) ~len:4) 0)
+  in
+  let write_counter n =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int n);
+    Uapi.store u ~vaddr:(base + counter_off) b
+  in
+  if not restored then begin
+    write_counter 0;
+    Uapi.store u ~vaddr:(base + canary_off) (Bytes.of_string Soak.canary)
+  end;
+  let scratch = Uapi.malloc u 64 in
+  let marker = Uapi.malloc u 8 in
+  let start = read_counter () in
+  for unit = start to rounds - 1 do
+    Uapi.compute u ~cycles:unit_cycles;
+    Uapi.store u ~vaddr:scratch
+      (Bytes.of_string (Printf.sprintf "%s:%04d" Soak.canary unit));
+    write_counter (unit + 1);
+    (try
+       let fd = Uapi.openf u "/progress" [ Abi.O_CREAT; Abi.O_RDWR ] in
+       ignore (Uapi.lseek u ~fd ~pos:unit ~whence:Abi.Seek_set);
+       Uapi.store_byte u ~vaddr:marker (unit land 0xff);
+       ignore (Uapi.write u ~fd ~vaddr:marker ~len:1);
+       Uapi.close u fd
+     with Errno.Error _ -> ());
+    (* quiesce point: checkpoint — and, when armed, the drain hook *)
+    (try ignore (Oshim.Shim.checkpoint sh) with Errno.Error _ -> ())
+  done;
+  Uapi.exit u 0
+
+(* Uncloaked noise on whichever side it runs: disk traffic and memory
+   pressure so migration happens under load, not in a quiet lab. *)
+let antagonist (env : Abi.env) =
+  let u = Uapi.of_env env in
+  let public = Bytes.of_string "public-migration-noise-plaintext" in
+  let fd = Uapi.openf u "/noise" [ Abi.O_CREAT; Abi.O_RDWR ] in
+  for _ = 1 to 4 do
+    Uapi.write_bytes u ~fd public
+  done;
+  Uapi.close u fd;
+  let vpn = Uapi.mmap u ~pages:24 () in
+  let b = Addr.vaddr_of_vpn vpn in
+  for pass = 0 to 1 do
+    for i = 0 to 23 do
+      Uapi.store_byte u ~vaddr:(b + (i * Addr.page_size)) ((pass + i) land 0xff)
+    done;
+    Uapi.compute u ~cycles:100_000
+  done;
+  Uapi.exit u 0
+
+let kconfig = Soak.kconfig
+let policy = Soak.policy
+
+(* --- driver tunables --- *)
+
+let max_attempts = 3
+let retry_limit = 8
+let deadline_disk_ops = 400
+let downtime_bound = 20_000_000
+let abort_downtime_bound = 64_000_000
+
+exception Stalled
+(* a transfer round ended with the destination still not READY *)
+
+(* --- the two stacks and the wire between them --- *)
+
+type stack = {
+  engine : Inject.t;
+  ch : Cloak.Migrate.channel;
+  src_trace : Trace.t;
+  dst_trace : Trace.t;
+  src_vmm : Cloak.Vmm.t;
+  dst_vmm : Cloak.Vmm.t;
+  src_k : Kernel.t;
+  dst_k : Kernel.t;
+  jitter : Oscrypto.Prng.t;
+  seed : int;
+  pid : int;
+  mutable attempts : int;
+  mutable committed : bool;
+  mutable breaker : bool;  (** gave up migrating after [max_attempts] *)
+  mutable downtime : int;  (** drain windows + destination install cycles *)
+  mutable blob : bytes option;  (** last drained checkpoint *)
+  mutable gen : int;  (** its seal generation (fence target) *)
+  mutable session : string;  (** last attempt's session id *)
+  mutable receivers : Cloak.Migrate.receiver list;  (** newest first *)
+}
+
+let tag_of st = Cloak.Resource.tag (Cloak.Resource.Anon st.pid)
+
+(* Drain the channel in both directions until neither side makes
+   progress (undelivered frames may still be delayed in flight). *)
+let pump st rcv snd =
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    (match Cloak.Migrate.recv st.ch with
+    | Some wire ->
+        progressed := true;
+        List.iter (Cloak.Migrate.reply st.ch) (Cloak.Migrate.deliver rcv wire)
+    | None -> ());
+    match Cloak.Migrate.recv_reply st.ch with
+    | Some wire ->
+        progressed := true;
+        Cloak.Migrate.absorb_ack snd wire
+    | None -> ()
+  done
+
+(* Retransmission rounds under the shared guest retry policy: each round
+   re-offers if unacked, resends every unacked chunk and pumps. The
+   deadline is the end-to-end migration timeout — jittered exponential
+   backoff between rounds, [Retry.Deadline_exceeded] either on the cycle
+   budget or the round limit. *)
+let transfer_rounds st snd rcv =
+  let c = Cloak.Vmm.counters st.src_vmm in
+  let disk_op = (Cost.model (Cloak.Vmm.cost st.src_vmm)).Cost.disk_op in
+  Retry.with_backoff
+    ~deadline_cycles:(deadline_disk_ops * disk_op)
+    ~jitter:st.jitter ~limit:retry_limit
+    ~retryable:(function Stalled -> true | _ -> false)
+    ~charge:(fun ~cycles ->
+      c.mig_retries <- c.mig_retries + 1;
+      Cloak.Vmm.charge st.src_vmm cycles)
+    ~base_cost:disk_op ~exhausted:Retry.Deadline_exceeded
+    (fun () ->
+      if not (Cloak.Migrate.offer_acked snd) then
+        Cloak.Migrate.send st.ch (Cloak.Migrate.offer_wire snd);
+      List.iter (Cloak.Migrate.send st.ch) (Cloak.Migrate.chunk_wires snd);
+      pump st rcv snd;
+      if not (Cloak.Migrate.ready snd) then raise Stalled)
+
+(* Post-fence control frames are liveness-only: the destination already
+   holds the verified blob, so losing the COMMIT (or an ABORT's ack)
+   forever must not wedge the source. Bounded retry, exhaustion
+   swallowed. *)
+let nudge st snd rcv ~wire ~done_ =
+  let disk_op = (Cost.model (Cloak.Vmm.cost st.src_vmm)).Cost.disk_op in
+  try
+    Retry.with_backoff ~jitter:st.jitter ~limit:3
+      ~retryable:(function Stalled -> true | _ -> false)
+      ~charge:(fun ~cycles -> Cloak.Vmm.charge st.src_vmm cycles)
+      ~base_cost:disk_op ~exhausted:Stalled
+      (fun () ->
+        Cloak.Migrate.send st.ch (wire ());
+        pump st rcv snd;
+        if not (done_ ()) then raise Stalled)
+  with Stalled -> ()
+
+(* The drain handler: runs inside the source kernel's checkpoint syscall
+   with the process stopped. Commit path: transfer → fence (the point of
+   no return: retire the source's seal generation, journal-anchored) →
+   COMMIT → Mig_commit. Abort path: ABORT the session, re-arm for the
+   next quiesce point until the attempt budget breaks the circuit, and
+   resume at the source — nothing was staled. *)
+let rec handler st blob =
+  st.attempts <- st.attempts + 1;
+  let t0 = Cost.cycles (Cloak.Vmm.cost st.src_vmm) in
+  Trace.span_enter st.src_trace ~ctx:Trace.Vmm ~site:(tag_of st) Trace.Migration;
+  st.gen <- Cloak.Vmm.seal_generation st.src_vmm ~tag:(tag_of st);
+  st.blob <- Some blob;
+  st.session <- Printf.sprintf "s%d-a%d" st.seed st.attempts;
+  let snd = Cloak.Migrate.sender st.src_vmm ~session:st.session blob in
+  let rcv = Cloak.Migrate.receiver st.dst_vmm ~session:st.session in
+  st.receivers <- rcv :: st.receivers;
+  let finish decision =
+    let dt = Cost.cycles (Cloak.Vmm.cost st.src_vmm) - t0 in
+    st.downtime <- st.downtime + dt;
+    let c = Cloak.Vmm.counters st.src_vmm in
+    c.mig_downtime_cycles <- c.mig_downtime_cycles + dt;
+    Trace.span_exit st.src_trace ~ctx:Trace.Vmm ~site:(tag_of st) Trace.Migration;
+    decision
+  in
+  match transfer_rounds st snd rcv with
+  | () ->
+      Cloak.Vmm.retire_seal_generation st.src_vmm ~tag:(tag_of st) ~gen:st.gen;
+      st.committed <- true;
+      nudge st snd rcv
+        ~wire:(fun () -> Cloak.Migrate.commit_wire snd)
+        ~done_:(fun () -> Cloak.Migrate.commit_acked snd);
+      finish Kernel.Mig_commit
+  | exception Retry.Deadline_exceeded ->
+      nudge st snd rcv
+        ~wire:(fun () -> Cloak.Migrate.abort_wire snd)
+        ~done_:(fun () -> Cloak.Migrate.abort_acked snd);
+      if st.attempts >= max_attempts then st.breaker <- true
+      else Kernel.request_migration st.src_k ~pid:st.pid (handler st);
+      finish Kernel.Mig_abort
+
+(* --- one migration scenario --- *)
+
+type run = {
+  seed : int;
+  committed : bool;
+  attempts : int;
+  breaker : bool;
+  downtime : int;
+  src_units : int;
+  dst_units : int;
+  src_status : int option;
+  dst_status : int option;
+  wire_frames : int;
+  wire_bytes : int;
+  retries : int;
+  mac_failures : int;
+  leaks : string list;
+  audit : string list;
+  audit_dropped : int;
+  crash : string option;
+  sup : Kernel.supervision_stats option;
+  trace_failures : string list;
+  probe_failures : string list;
+  st : stack;  (* kept for crash-matrix post-mortems *)
+}
+
+let units_of k =
+  match Fs.lookup (Kernel.fs k) "/progress" with
+  | Ok ino -> Fs.size (Kernel.fs k) ino
+  | Error _ -> 0
+
+let is_stale = function
+  | Cloak.Violation.Security_fault { kind = Cloak.Violation.Stale_checkpoint; _ } ->
+      true
+  | _ -> false
+
+let run_once ~plan ~seed =
+  let engine = Inject.create plan in
+  let vconfig =
+    (* both VMMs share the fleet master secret: same seed *)
+    { Cloak.Vmm.default_config with seed = 0x317E lxor (seed * 0x2545F491) }
+  in
+  let src_trace = Trace.ring () and dst_trace = Trace.ring () in
+  let src_vmm = Cloak.Vmm.create ~config:vconfig ~engine ~trace:src_trace () in
+  let dst_vmm = Cloak.Vmm.create ~config:vconfig ~trace:dst_trace () in
+  let src_k = Kernel.create ~config:kconfig src_vmm in
+  let dst_k = Kernel.create ~config:kconfig dst_vmm in
+  let ch = Cloak.Migrate.channel ~engine () in
+  let pid = Kernel.spawn_supervised src_k ~policy service in
+  ignore (Kernel.spawn src_k antagonist);
+  let st =
+    {
+      engine; ch; src_trace; dst_trace; src_vmm; dst_vmm; src_k; dst_k;
+      jitter = Oscrypto.Prng.create ~seed:(seed lxor 0x11771);
+      seed; pid; attempts = 0; committed = false; breaker = false;
+      downtime = 0; blob = None; gen = 0; session = ""; receivers = [];
+    }
+  in
+  Kernel.request_migration src_k ~pid (handler st);
+  let crash =
+    try
+      Kernel.run src_k;
+      None
+    with e -> Some (Printexc.to_string e)
+  in
+  let probe_failures = ref [] in
+  let probe msg = probe_failures := msg :: !probe_failures in
+  (* destination side: adopt the committed blob and run it to completion
+     under its own antagonist *)
+  (if crash = None && st.committed then
+     match st.receivers with
+     | [] -> probe "committed with no receiver"
+     | rcv :: _ -> (
+         match Cloak.Migrate.blob rcv with
+         | None -> probe "fenced at the source but destination holds no blob"
+         | Some blob -> (
+             let t0 = Cost.cycles (Cloak.Vmm.cost dst_vmm) in
+             match Kernel.adopt_migrated dst_k ~policy ~prog:service blob with
+             | _pid ->
+                 let dt = Cost.cycles (Cloak.Vmm.cost dst_vmm) - t0 in
+                 st.downtime <- st.downtime + dt;
+                 let c = Cloak.Vmm.counters src_vmm in
+                 c.mig_downtime_cycles <- c.mig_downtime_cycles + dt;
+                 ignore (Kernel.spawn dst_k antagonist);
+                 (try Kernel.run dst_k
+                  with e -> probe ("destination run: " ^ Printexc.to_string e))
+             | exception e ->
+                 probe ("adopt refused a committed blob: " ^ Printexc.to_string e))));
+  (* snapshot the deterministic surfaces before the probes below append
+     to the audit trail *)
+  let audit = Inject.Audit.lines (Cloak.Vmm.audit src_vmm) in
+  let audit_dropped = Inject.Audit.dropped (Cloak.Vmm.audit src_vmm) in
+  let cs = Cloak.Vmm.counters src_vmm and cd = Cloak.Vmm.counters dst_vmm in
+  let wire = Cloak.Migrate.wire_log ch in
+  let leaks =
+    Soak.scan_leaks src_vmm src_k
+    @ List.map (fun s -> "dst " ^ s) (Soak.scan_leaks dst_vmm dst_k)
+    @ List.concat
+        (List.mapi
+           (fun i w ->
+             if Soak.contains_canary w then
+               [ Printf.sprintf "wire frame %d" i ]
+             else [])
+           wire)
+  in
+  (* post-run adversarial probes (skipped after a crash; the crash
+     matrix does its own post-mortem) *)
+  (if crash = None && st.committed then begin
+     let blob = match st.blob with Some b -> b | None -> Bytes.empty in
+     (* double-resume at the source: the fence retired the generation *)
+     (match Cloak.Seal.unseal src_vmm blob with
+     | _ -> probe "source re-unsealed the migrated blob (fence leaked)"
+     | exception e when is_stale e -> ());
+     (* double-delivery at the destination: install consumed it *)
+     (match Kernel.adopt_migrated dst_k ~policy ~prog:service blob with
+     | _ -> probe "destination re-adopted the migrated blob"
+     | exception e when is_stale e -> ());
+     (* replaying every frame the OS recorded can at best rebuild the
+        same bytes — and those are stale everywhere now *)
+     let replayed = Cloak.Migrate.receiver dst_vmm ~session:st.session in
+     List.iter (fun w -> ignore (Cloak.Migrate.deliver replayed w)) wire;
+     (match Cloak.Migrate.blob replayed with
+     | Some b when not (Bytes.equal b blob) ->
+         probe "replayed wire log assembled a different blob"
+     | _ -> ());
+     (* a flipped bit anywhere in a frame must be rejected unacked *)
+     match wire with
+     | [] -> ()
+     | w :: _ when Bytes.length w > 0 ->
+         let t = Bytes.copy w in
+         let i = Bytes.length t / 2 in
+         Bytes.set t i (Char.chr (Char.code (Bytes.get t i) lxor 0x40));
+         let r2 = Cloak.Migrate.receiver dst_vmm ~session:st.session in
+         if Cloak.Migrate.deliver r2 t <> [] then
+           probe "tampered frame was acknowledged";
+         if Cloak.Migrate.blob r2 <> None then
+           probe "tampered frame produced a blob";
+         if not (List.mem Cloak.Migrate.Bad_mac (Cloak.Migrate.rejects r2)) then
+           probe "tampered frame not rejected as Bad_mac"
+     | _ -> ()
+   end);
+  {
+    seed;
+    committed = st.committed;
+    attempts = cs.mig_attempts;
+    breaker = st.breaker;
+    downtime = st.downtime;
+    src_units = units_of src_k;
+    dst_units = units_of dst_k;
+    src_status = Kernel.exit_status src_k ~pid;
+    dst_status = Kernel.exit_status dst_k ~pid;
+    wire_frames = List.length wire;
+    wire_bytes = List.fold_left (fun a w -> a + Bytes.length w) 0 wire;
+    retries = cs.mig_retries;
+    mac_failures = cs.mig_chunk_mac_failures + cd.mig_chunk_mac_failures;
+    leaks;
+    audit;
+    audit_dropped;
+    crash;
+    sup = Kernel.supervision_stats src_k ~pid;
+    trace_failures =
+      Trace.Check.verdict src_trace
+      @ List.map (fun f -> "dst: " ^ f) (Trace.Check.verdict dst_trace);
+    probe_failures = List.rev !probe_failures;
+    st;
+  }
+
+(* --- hostile channel plans ---
+
+   Bounded bursts of loss, duplication, delay, reordering and corruption
+   aimed only at the three channel sites: the protocol must ride them out
+   (commit eventually) or abort cleanly back to the source. Crash_point
+   never appears here — the crash matrix drives it deterministically. *)
+let hostile_plan ~seed =
+  let r = Oscrypto.Prng.create ~seed:(seed lxor 0x6D16A7E) in
+  let int = Oscrypto.Prng.int in
+  let rule _ =
+    let trigger =
+      {
+        Inject.start = 1 + int r 25;
+        every = 1 + int r 5;
+        count = 1 + int r 4;
+      }
+    in
+    let site =
+      match int r 3 with
+      | 0 -> Inject.Mig_send
+      | 1 -> Inject.Mig_recv
+      | _ -> Inject.Mig_ack
+    in
+    let action =
+      match int r 6 with
+      | 0 -> Inject.Drop
+      | 1 -> Inject.Duplicate
+      | 2 -> Inject.Delay (1 + int r 3)
+      | 3 -> Inject.Bit_flip (int r 600)
+      | 4 -> Inject.Torn_write (int r 600)
+      | _ -> Inject.Reorder
+    in
+    { Inject.site; trigger; action }
+  in
+  Inject.plan ~seed (List.init (3 + int r 4) rule)
+
+(* A channel that eats every forward frame: no attempt can ever reach
+   READY, so the driver must walk the whole abort path — deadline abort,
+   re-arm, circuit breaker — and the source must finish untouched. *)
+let blackhole_plan ~seed =
+  Inject.plan ~seed
+    [ { Inject.site = Inject.Mig_send; trigger = Inject.always; action = Inject.Drop } ]
+
+(* --- seed runner and invariants --- *)
+
+type seed_report = {
+  seed : int;
+  clean_committed : bool;
+  clean_downtime : int;
+  hostile_committed : bool;
+  hostile_attempts : int;
+  hostile_breaker : bool;
+  hostile_downtime : int;
+  attempts : int;
+  completed : int;
+  aborts : int;
+  retries : int;
+  mac_failures : int;
+  downtime_cycles : int;
+  breaker_trips : int;
+  wire_frames : int;
+  wire_bytes : int;
+  audit_dropped : int;
+  failures : string list;
+}
+
+let run_seed ~seed =
+  let fails = ref [] in
+  let fail msg = fails := msg :: !fails in
+  let clean = run_once ~plan:(Inject.plan ~seed []) ~seed in
+  let hplan = hostile_plan ~seed in
+  let h1 = run_once ~plan:hplan ~seed in
+  let h2 = run_once ~plan:hplan ~seed in
+  let bh = run_once ~plan:(blackhole_plan ~seed) ~seed in
+  if bh.committed then fail "blackhole channel somehow committed";
+  if not bh.breaker then fail "blackhole: circuit breaker never tripped";
+  if bh.attempts <> max_attempts then
+    fail
+      (Printf.sprintf "blackhole: %d attempts against a budget of %d"
+         bh.attempts max_attempts);
+  (* clean channel: first attempt commits, source retires with the
+     migrated status, destination finishes every unit *)
+  if not clean.committed then fail "clean migration did not commit";
+  if clean.committed && clean.attempts <> 1 then
+    fail (Printf.sprintf "clean migration took %d attempts" clean.attempts);
+  if clean.committed && clean.downtime <= 0 then fail "no downtime recorded";
+  (* both modes: committed ⇒ exactly one incarnation finishes at the
+     destination and the source is fenced; aborted ⇒ the source finishes
+     as if migration were never requested *)
+  List.iter
+    (fun (name, (r : run)) ->
+      (match r.crash with
+      | Some e -> fail (Printf.sprintf "%s: crashed: %s" name e)
+      | None -> ());
+      if r.committed then begin
+        if r.src_status <> Some Kernel.migrated_exit_status then
+          fail (name ^ ": committed but source incarnation not retired");
+        if r.dst_status <> Some 0 then
+          fail (name ^ ": committed but migrated process failed at destination");
+        if r.src_units + 1 < 1 || r.dst_units < rounds then
+          fail
+            (Printf.sprintf "%s: destination finished %d/%d units" name
+               r.dst_units rounds)
+      end
+      else begin
+        if r.breaker && r.attempts <> max_attempts then
+          fail (name ^ ": circuit broke off-budget");
+        if r.src_status <> Some 0 then
+          fail (name ^ ": migration aborted but source did not complete");
+        if r.src_units < rounds then
+          fail (name ^ ": migration aborted and source lost progress")
+      end;
+      let bound =
+        if r.committed then downtime_bound else abort_downtime_bound
+      in
+      if r.downtime > bound then
+        fail
+          (Printf.sprintf "%s: downtime %d above bound %d" name r.downtime bound);
+      List.iter (fun l -> fail (name ^ ": canary leaked to " ^ l)) r.leaks;
+      List.iter (fun f -> fail (name ^ ": " ^ f)) r.probe_failures;
+      List.iter (fun f -> fail (name ^ ": trace: " ^ f)) r.trace_failures;
+      match r.sup with
+      | None -> fail (name ^ ": supervision stats vanished")
+      | Some s ->
+          if s.Kernel.sup_migrations_attempted <> r.attempts then
+            fail (name ^ ": supervision attempt count diverges from driver");
+          if r.committed && s.Kernel.sup_migrations_completed <> 1 then
+            fail (name ^ ": supervision completed count diverges from driver"))
+    [ ("clean", clean); ("hostile", h1); ("blackhole", bh) ];
+  if h1.audit <> h2.audit && h1.audit_dropped = 0 && h2.audit_dropped = 0 then
+    fail "hostile determinism: audit logs diverge across identical replays";
+  {
+    seed;
+    clean_committed = clean.committed;
+    clean_downtime = clean.downtime;
+    hostile_committed = h1.committed;
+    hostile_attempts = h1.attempts;
+    hostile_breaker = h1.breaker;
+    hostile_downtime = h1.downtime;
+    attempts = clean.attempts + h1.attempts + bh.attempts;
+    completed =
+      (if clean.committed then 1 else 0) + (if h1.committed then 1 else 0);
+    aborts =
+      clean.attempts + h1.attempts + bh.attempts
+      - (if clean.committed then 1 else 0)
+      - (if h1.committed then 1 else 0);
+    retries = clean.retries + h1.retries + bh.retries;
+    mac_failures = clean.mac_failures + h1.mac_failures + bh.mac_failures;
+    downtime_cycles = clean.downtime + h1.downtime + bh.downtime;
+    breaker_trips = (if h1.breaker then 1 else 0) + (if bh.breaker then 1 else 0);
+    wire_frames = clean.wire_frames + h1.wire_frames + bh.wire_frames;
+    wire_bytes = clean.wire_bytes + h1.wire_bytes + bh.wire_bytes;
+    audit_dropped =
+      max clean.audit_dropped
+        (max bh.audit_dropped (max h1.audit_dropped h2.audit_dropped));
+    failures = List.rev !fails;
+  }
+
+type verdict = {
+  seeds_run : int;
+  clean_committed : int;
+  hostile_committed : int;
+  hostile_aborted : int;
+  total_attempts : int;
+  total_retries : int;
+  total_mac_failures : int;
+  total_breaker_trips : int;
+  p50_downtime : int;
+  p95_downtime : int;
+  total_wire_frames : int;
+  reports : seed_report list;
+  failures : (int * string) list;
+}
+
+let run_seeds ?progress ~seeds () =
+  let reports =
+    List.map
+      (fun seed ->
+        let r = run_seed ~seed in
+        (match progress with Some f -> f r | None -> ());
+        r)
+      seeds
+  in
+  let hist = Trace.Hist.create () in
+  List.iter
+    (fun r ->
+      if r.clean_downtime > 0 then Trace.Hist.add hist r.clean_downtime;
+      if r.hostile_downtime > 0 then Trace.Hist.add hist r.hostile_downtime)
+    reports;
+  let sum f = List.fold_left (fun a r -> a + f r) 0 reports in
+  let count p = List.length (List.filter p reports) in
+  {
+    seeds_run = List.length reports;
+    clean_committed = count (fun r -> r.clean_committed);
+    hostile_committed = count (fun r -> r.hostile_committed);
+    hostile_aborted = count (fun r -> not r.hostile_committed);
+    total_attempts = sum (fun r -> r.attempts);
+    total_retries = sum (fun r -> r.retries);
+    total_mac_failures = sum (fun r -> r.mac_failures);
+    total_breaker_trips = sum (fun r -> r.breaker_trips);
+    p50_downtime = Trace.Hist.percentile hist 0.5;
+    p95_downtime = Trace.Hist.percentile hist 0.95;
+    total_wire_frames = sum (fun r -> r.wire_frames);
+    reports;
+    failures =
+      List.concat_map (fun r -> List.map (fun f -> (r.seed, f)) r.failures) reports;
+  }
+
+(* --- crash matrix over the channel sites ---
+
+   Power the source VMM off at every occurrence of every Mig_* site (as
+   calibrated from a clean run) and prove the split-brain invariants:
+   fenced ⇒ the destination holds the verified blob, adopts it exactly
+   once and finishes; not fenced ⇒ the receiver never committed and the
+   source's latest checkpoint still restores. Either way exactly one
+   incarnation survives. *)
+
+let mig_sites = [ Inject.Mig_send; Inject.Mig_recv; Inject.Mig_ack ]
+
+let calibrate ~seed =
+  let r = run_once ~plan:(Inject.plan ~seed []) ~seed in
+  List.map (fun s -> (s, Inject.occurrences r.st.engine s)) mig_sites
+
+let points_of ?(per_site = 4) occs =
+  List.concat_map
+    (fun ((site : Inject.site), n) ->
+      if n <= 0 then []
+      else
+        let k = min per_site n in
+        (* span 1..n inclusive: the last occurrences are the post-fence
+           COMMIT exchange, where the crash must prove "never lose" *)
+        List.init k (fun i ->
+            { Crash.site; occurrence = 1 + (i * (n - 1) / max 1 (k - 1)) }))
+    occs
+
+type crash_outcome = {
+  point : Crash.point;
+  crash_seed : int;
+  crashed : bool;
+  fenced : bool;
+  crash_failures : string list;
+}
+
+let run_crash_point ~seed (p : Crash.point) =
+  let plan () =
+    Inject.plan ~seed
+      [
+        {
+          Inject.site = p.Crash.site;
+          trigger = Inject.once ~at:p.Crash.occurrence;
+          action = Inject.Crash_point;
+        };
+      ]
+  in
+  let r1 = run_once ~plan:(plan ()) ~seed in
+  let r2 = run_once ~plan:(plan ()) ~seed in
+  let fails = ref [] in
+  let fail msg = fails := msg :: !fails in
+  if r1.audit <> r2.audit && r1.audit_dropped = 0 && r2.audit_dropped = 0 then
+    fail "crash replay diverged";
+  let st = r1.st in
+  let crashed = r1.crash <> None in
+  let fenced =
+    Cloak.Vmm.seal_generation st.src_vmm ~tag:(tag_of st) > st.gen
+  in
+  if not crashed then fail "crash point did not fire"
+  else begin
+    match st.receivers with
+    | [] -> fail "crashed before any transfer attempt"
+    | rcv :: _ ->
+        if fenced then begin
+          (* never lose a committed process *)
+          match Cloak.Migrate.blob rcv with
+          | None -> fail "fenced but destination holds no verified blob"
+          | Some blob -> (
+              match Kernel.adopt_migrated st.dst_k ~policy ~prog:service blob with
+              | _pid -> (
+                  (try Kernel.run st.dst_k
+                   with e -> fail ("destination run: " ^ Printexc.to_string e));
+                  if Kernel.exit_status st.dst_k ~pid:st.pid <> Some 0 then
+                    fail "migrated process did not complete at destination";
+                  (* never run two incarnations *)
+                  match Kernel.adopt_migrated st.dst_k ~policy ~prog:service blob with
+                  | _ -> fail "blob adopted twice after a crash"
+                  | exception e when is_stale e -> ())
+              | exception e ->
+                  fail ("fenced blob refused: " ^ Printexc.to_string e))
+        end
+        else begin
+          (* never accept an unfenced commit *)
+          if Cloak.Migrate.committed rcv then
+            fail "receiver committed before the source fenced";
+          (* the source remains recoverable from its latest checkpoint *)
+          match Kernel.supervision_stats st.src_k ~pid:st.pid with
+          | Some { Kernel.sup_last_checkpoint = Some b; _ } -> (
+              match Cloak.Seal.unseal st.src_vmm b with
+              | _ -> ()
+              | exception e ->
+                  fail
+                    ("source checkpoint unrecoverable after crash: "
+                   ^ Printexc.to_string e))
+          | _ -> fail "no source checkpoint survived the crash"
+        end
+  end;
+  { point = p; crash_seed = seed; crashed; fenced; crash_failures = List.rev !fails }
+
+type crash_report = {
+  crash_points : int;
+  crash_fenced : int;
+  matrix_failures : (string * string) list;
+}
+
+let run_crash_matrix ?per_site ~seeds () =
+  let points = ref 0 and fenced = ref 0 and fails = ref [] in
+  List.iter
+    (fun seed ->
+      let occs = calibrate ~seed in
+      List.iter
+        (fun (p : Crash.point) ->
+          incr points;
+          let o = run_crash_point ~seed p in
+          if o.fenced then incr fenced;
+          List.iter
+            (fun f ->
+              fails :=
+                ( Printf.sprintf "seed %d %s#%d" seed
+                    (Inject.site_to_string p.Crash.site)
+                    p.Crash.occurrence,
+                  f )
+                :: !fails)
+            o.crash_failures)
+        (points_of ?per_site occs))
+    seeds;
+  {
+    crash_points = !points;
+    crash_fenced = !fenced;
+    matrix_failures = List.rev !fails;
+  }
+
+(* --- presentation --- *)
+
+let pp_seed_report ppf (r : seed_report) =
+  Format.fprintf ppf
+    "seed %d: clean %s (downtime %d), hostile %s in %d attempt%s (downtime \
+     %d, retries %d, bad MACs %d)%s%s"
+    r.seed
+    (if r.clean_committed then "migrated" else "FAILED")
+    r.clean_downtime
+    (if r.hostile_committed then "migrated"
+     else if r.hostile_breaker then "gave up (circuit broke)"
+     else "aborted")
+    r.hostile_attempts
+    (if r.hostile_attempts = 1 then "" else "s")
+    r.hostile_downtime r.retries r.mac_failures
+    (if r.failures = [] then "" else " INVARIANTS BROKEN: ")
+    (String.concat "; " r.failures)
+
+let summary_line (v : verdict) =
+  Printf.sprintf
+    "migration: %d/%d clean, %d/%d hostile committed (%d aborted back, %d \
+     circuit breaks), downtime p50=%d p95=%d cycles, %d retries, %d bad \
+     MACs, %d wire frames, %d invariant failures"
+    v.clean_committed v.seeds_run v.hostile_committed v.seeds_run
+    v.hostile_aborted v.total_breaker_trips v.p50_downtime v.p95_downtime
+    v.total_retries v.total_mac_failures v.total_wire_frames
+    (List.length v.failures)

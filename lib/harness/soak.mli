@@ -35,6 +35,11 @@ val kconfig : Guest.Kernel.config
 
 val policy : Guest.Kernel.restart_policy
 
+val scan_leaks : Cloak.Vmm.t -> Guest.Kernel.t -> string list
+(** Every OS-visible surface (machine memory, RAM remanence, disk and swap
+    blocks) holding the canary, for harnesses that plant it — shared with
+    the migration harness, which also scans its wire frames. *)
+
 val soak_plan : seed:int -> Inject.plan
 (** The seed's chaos plan plus recurring lethal rules. [Seal_write] and
     [Restore] rules are excluded (the harness's own post-run unseal probes

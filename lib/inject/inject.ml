@@ -17,12 +17,15 @@ type site =
   | Jrnl_ckpt
   | Seal_write
   | Restore
+  | Mig_send
+  | Mig_recv
+  | Mig_ack
 
 let all_sites =
   [
     Phys_alloc; Phys_write; Phys_free; Blk_alloc; Blk_read; Blk_write; Blk_free;
     Tlb_insert; Tlb_flush; Crypto_iv; Meta_export; Meta_import; Jrnl_append;
-    Jrnl_ckpt; Seal_write; Restore;
+    Jrnl_ckpt; Seal_write; Restore; Mig_send; Mig_recv; Mig_ack;
   ]
 
 let site_to_string = function
@@ -42,6 +45,9 @@ let site_to_string = function
   | Jrnl_ckpt -> "jrnl-ckpt"
   | Seal_write -> "seal-write"
   | Restore -> "restore"
+  | Mig_send -> "mig-send"
+  | Mig_recv -> "mig-recv"
+  | Mig_ack -> "mig-ack"
 
 let site_of_string s =
   List.find_opt (fun site -> site_to_string site = s) all_sites
@@ -58,6 +64,9 @@ type action =
   | Stale_entry
   | Drop_insert
   | Crash_point
+  | Drop
+  | Duplicate
+  | Delay of int
 
 let action_to_string = function
   | Bit_flip off -> Printf.sprintf "bit-flip@%d" off
@@ -71,6 +80,9 @@ let action_to_string = function
   | Stale_entry -> "stale-entry"
   | Drop_insert -> "drop-insert"
   | Crash_point -> "crash-point"
+  | Drop -> "drop"
+  | Duplicate -> "duplicate"
+  | Delay n -> Printf.sprintf "delay/%d" n
 
 exception Vmm_crash of string
 
@@ -185,7 +197,9 @@ let menu =
        supervised processes, which the generic chaos workload does not
        spawn — random rules against them would dilute plans to no effect.
        Sealed-checkpoint tampering is exercised by explicit plans in the
-       seal tests and the attack suite. *)
+       seal tests and the attack suite. The Mig_* channel sites are absent
+       for the same reason: only the migration harness opens a channel,
+       and it builds its own hostile plans (see Harness.Migrate). *)
   ]
 
 let random_plan ~seed =

@@ -36,6 +36,9 @@ type site =
   | Jrnl_ckpt    (** metadata-journal checkpoint write *)
   | Seal_write   (** sealed-checkpoint blob serialization *)
   | Restore      (** sealed-checkpoint verification before a restore *)
+  | Mig_send     (** migration frame handed to the untrusted channel *)
+  | Mig_recv     (** migration frame delivered to the destination VMM *)
+  | Mig_ack      (** acknowledgement handed back over the channel *)
 
 val all_sites : site list
 val site_to_string : site -> string
@@ -57,6 +60,9 @@ type action =
   | Stale_entry         (** skip the invalidation, leaving a stale entry *)
   | Drop_insert         (** lose the TLB insert *)
   | Crash_point         (** kill the whole VMM at this site — power cut *)
+  | Drop                (** lose this frame in flight (lossy channel) *)
+  | Duplicate           (** deliver this frame twice (replaying channel) *)
+  | Delay of int        (** hold this frame back for [n] deliveries *)
 
 val action_to_string : action -> string
 

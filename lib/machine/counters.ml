@@ -25,6 +25,12 @@ type t = {
   mutable seal_restores : int;
   mutable restarts : int;
   mutable circuit_breaks : int;
+  mutable mig_attempts : int;
+  mutable mig_completed : int;
+  mutable mig_aborts : int;
+  mutable mig_retries : int;
+  mutable mig_chunk_mac_failures : int;
+  mutable mig_downtime_cycles : int;
 }
 
 let create () =
@@ -55,6 +61,12 @@ let create () =
     seal_restores = 0;
     restarts = 0;
     circuit_breaks = 0;
+    mig_attempts = 0;
+    mig_completed = 0;
+    mig_aborts = 0;
+    mig_retries = 0;
+    mig_chunk_mac_failures = 0;
+    mig_downtime_cycles = 0;
   }
 
 (* The single field table every derived operation goes through. A new
@@ -90,6 +102,16 @@ let fields : (string * (t -> int) * (t -> int -> unit)) list =
     ("seal_restores", (fun t -> t.seal_restores), fun t v -> t.seal_restores <- v);
     ("restarts", (fun t -> t.restarts), fun t v -> t.restarts <- v);
     ("circuit_breaks", (fun t -> t.circuit_breaks), fun t v -> t.circuit_breaks <- v);
+    ("mig_attempts", (fun t -> t.mig_attempts), fun t v -> t.mig_attempts <- v);
+    ("mig_completed", (fun t -> t.mig_completed), fun t v -> t.mig_completed <- v);
+    ("mig_aborts", (fun t -> t.mig_aborts), fun t v -> t.mig_aborts <- v);
+    ("mig_retries", (fun t -> t.mig_retries), fun t v -> t.mig_retries <- v);
+    ( "mig_chunk_mac_failures",
+      (fun t -> t.mig_chunk_mac_failures),
+      fun t v -> t.mig_chunk_mac_failures <- v );
+    ( "mig_downtime_cycles",
+      (fun t -> t.mig_downtime_cycles),
+      fun t v -> t.mig_downtime_cycles <- v );
   ]
 
 let reset t = List.iter (fun (_, _, set) -> set t 0) fields

@@ -28,6 +28,12 @@ type t = {
   mutable seal_restores : int;
   mutable restarts : int;
   mutable circuit_breaks : int;
+  mutable mig_attempts : int;
+  mutable mig_completed : int;
+  mutable mig_aborts : int;
+  mutable mig_retries : int;
+  mutable mig_chunk_mac_failures : int;
+  mutable mig_downtime_cycles : int;
 }
 
 val create : unit -> t

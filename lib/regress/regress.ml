@@ -94,12 +94,32 @@ let suite ?cost_model () =
         else None)
       (Machine.Counters.to_assoc cloaked.Harness.counters)
   in
+  (* one deterministic live-migration seed pins the protocol's event
+     counts (attempt/abort/retry/MAC-reject behaviour must not drift
+     silently) and tracks its downtime like any other latency *)
+  let migrate =
+    let r = Harness.Migrate.run_seed ~seed:7 in
+    if r.Harness.Migrate.failures <> [] then
+      failwith
+        ("regress: migration invariants broken: "
+        ^ String.concat "; " r.Harness.Migrate.failures);
+    [
+      { name = "migrate/attempts"; kind = Counter; value = r.Harness.Migrate.attempts };
+      { name = "migrate/completed"; kind = Counter; value = r.Harness.Migrate.completed };
+      { name = "migrate/aborts"; kind = Counter; value = r.Harness.Migrate.aborts };
+      { name = "migrate/retries"; kind = Counter; value = r.Harness.Migrate.retries };
+      { name = "migrate/chunk-mac-failures"; kind = Counter;
+        value = r.Harness.Migrate.mac_failures };
+      { name = "migrate/downtime-cycles"; kind = Cycles;
+        value = r.Harness.Migrate.downtime_cycles };
+    ]
+  in
   e1 @ e2
   @ [
       { name = "fileio/native/cycles"; kind = Cycles; value = native.Harness.cycles };
       { name = "fileio/cloaked/cycles"; kind = Cycles; value = cloaked.Harness.cycles };
     ]
-  @ counters
+  @ counters @ migrate
 
 (* --- comparison --- *)
 

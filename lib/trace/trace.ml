@@ -28,6 +28,7 @@ type kind =
   | Frame_free
   | Quarantine
   | Restart
+  | Migration
 
 type phase = Instant | Enter | Exit | Abort
 
@@ -48,7 +49,7 @@ let all_kinds =
     Syscall_trap; Syscall; Page_encrypt; Page_decrypt; Page_zero; Mac_check;
     Plaintext_access; Journal_append; Journal_ckpt; Seal_capture; Seal_restore;
     Seal_gen_bump; Disk_read; Disk_write; Frame_scrub; Frame_free; Quarantine;
-    Restart;
+    Restart; Migration;
   ]
 
 let kind_name = function
@@ -76,6 +77,7 @@ let kind_name = function
   | Frame_free -> "frame_free"
   | Quarantine -> "quarantine"
   | Restart -> "restart"
+  | Migration -> "migration"
 
 (* --- log2-bucket latency histograms --- *)
 

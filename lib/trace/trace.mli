@@ -47,6 +47,7 @@ type kind =
   | Frame_free
   | Quarantine
   | Restart
+  | Migration
 
 type phase = Instant | Enter | Exit | Abort
 (** [Abort] closes a span that was unwound by an exception: no latency is
