@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test chaos-smoke recovery soak migrate trace profile regress ci clean
+.PHONY: all build test chaos-smoke recovery soak migrate fleet trace profile regress ci clean
 
 all: build
 
@@ -41,6 +41,16 @@ soak: build
 migrate: build
 	$(DUNE) exec bin/overshadow_cli.exe -- migrate --seeds 20 --bench-out BENCH_migration.json
 
+# Fleet supervisor under hostile open-loop load: a multi-VMM fleet of
+# cloaked services behind a load balancer, with heartbeat-based failure
+# detection, migration-based failover and typed load shedding; per seed a
+# fault-free SLO run, the hostile plan twice (determinism) and a
+# blackhole run; checks the latency budget, exactly-once failover and the
+# supervised-beats-unsupervised goodput gap, and emits availability, shed
+# and tail-latency numbers as BENCH_fleet.json.
+fleet: build
+	$(DUNE) exec bin/overshadow_cli.exe -- fleet --seeds 20 --bench-out BENCH_fleet.json
+
 # Flight-recorder overhead proof: run cloaked workloads under the null
 # sink and under a live ring and assert both add zero model cycles over
 # an untraced baseline; emits BENCH_trace_overhead.json. Also prints the
@@ -64,7 +74,7 @@ regress: build
 regress-update: build
 	$(DUNE) exec bin/overshadow_cli.exe -- regress --update-baselines
 
-ci: test chaos-smoke recovery soak migrate trace regress profile
+ci: test chaos-smoke recovery soak migrate fleet trace regress profile
 
 clean:
 	$(DUNE) clean

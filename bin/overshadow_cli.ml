@@ -9,6 +9,7 @@
      overshadow-cli crash-matrix --seeds 20   every crash point x N seeds
      overshadow-cli soak --seeds 20           supervised availability soak
      overshadow-cli migrate --seeds 20        live migration over a hostile channel
+     overshadow-cli fleet --seeds 20          fleet supervisor under hostile open-loop load
      overshadow-cli trace fileio --cloaked    flight-recorder latency decomposition
      overshadow-cli trace-overhead            prove the recorder costs zero model cycles
      overshadow-cli profile fileio --cloaked  exact cycle attribution + flamegraph export
@@ -110,13 +111,12 @@ let run_chaos seeds base verbose bench_out =
              ("wall_s", Report.Float wall_s);
              ("failures", Report.Int (List.length v.Harness.Chaos.failures)) ]);
       Printf.printf "  wrote %s\n" path);
-  match v.Harness.Chaos.failures with
+  (match v.Harness.Chaos.failures with
   | [] ->
-      Printf.printf "all invariants held: no escapes, no leaks, deterministic replay\n";
-      0
+      Printf.printf "all invariants held: no escapes, no leaks, deterministic replay\n"
   | fails ->
-      List.iter (fun (seed, what) -> Printf.printf "FAILED seed %d: %s\n" seed what) fails;
-      1
+      List.iter (fun (seed, what) -> Printf.printf "FAILED seed %d: %s\n" seed what) fails);
+  Harness.Chaos.exit_code v
 
 let run_recover seed site at =
   match Inject.site_of_string site with
@@ -244,19 +244,17 @@ let run_soak seeds base verbose bench_out =
              ("wall_s", Report.Float wall_s);
              ("failures", Report.Int (List.length v.Harness.Soak.failures)) ]);
       Printf.printf "  wrote %s\n" path);
-  match v.Harness.Soak.failures with
+  (match v.Harness.Soak.failures with
   | [] when v.Harness.Soak.total_units_sup > v.Harness.Soak.total_units_unsup ->
       Printf.printf
-        "all invariants held: privacy across restarts, no stale-checkpoint acceptance, deterministic audit\n";
-      0
+        "all invariants held: privacy across restarts, no stale-checkpoint acceptance, deterministic audit\n"
   | [] ->
       Printf.printf
         "FAILED: supervision did not beat its absence (%d units vs %d)\n"
-        v.Harness.Soak.total_units_sup v.Harness.Soak.total_units_unsup;
-      1
+        v.Harness.Soak.total_units_sup v.Harness.Soak.total_units_unsup
   | fails ->
-      List.iter (fun (seed, what) -> Printf.printf "FAILED seed %d: %s\n" seed what) fails;
-      1
+      List.iter (fun (seed, what) -> Printf.printf "FAILED seed %d: %s\n" seed what) fails);
+  Harness.Soak.exit_code v
 
 let run_migrate seeds base crash_seeds verbose bench_out =
   let progress (r : Harness.Migrate.seed_report) =
@@ -305,16 +303,64 @@ let run_migrate seeds base crash_seeds verbose bench_out =
                  (List.length v.Harness.Migrate.failures
                  + List.length c.Harness.Migrate.matrix_failures) ) ]);
       Printf.printf "  wrote %s\n" path);
-  match (v.Harness.Migrate.failures, c.Harness.Migrate.matrix_failures) with
+  (match (v.Harness.Migrate.failures, c.Harness.Migrate.matrix_failures) with
   | [], [] ->
       Printf.printf
         "all invariants held: one incarnation, no wire plaintext, no replayed or \
-         tampered blob accepted, bounded downtime, deterministic audit\n";
-      0
+         tampered blob accepted, bounded downtime, deterministic audit\n"
   | fails, cfails ->
       List.iter (fun (seed, what) -> Printf.printf "FAILED seed %d: %s\n" seed what) fails;
-      List.iter (fun (point, what) -> Printf.printf "FAILED %s: %s\n" point what) cfails;
-      1
+      List.iter (fun (point, what) -> Printf.printf "FAILED %s: %s\n" point what) cfails);
+  Harness.Migrate.exit_code v c
+
+let run_fleet seeds base verbose bench_out =
+  let progress (r : Harness.Fleet.seed_report) =
+    if verbose || r.Harness.Fleet.failures <> [] then
+      Format.printf "%a@." Harness.Fleet.pp_seed_report r
+  in
+  let t0 = Sys.time () in
+  let v =
+    Harness.Fleet.run_seeds ~progress
+      ~seeds:(Harness.Fleet.seeds_from ~base ~count:seeds)
+      ()
+  in
+  let wall_s = Sys.time () -. t0 in
+  Printf.printf "%s\n" (Harness.Fleet.summary_line v);
+  Printf.printf
+    "  degradation: %d sheds (all typed), latency p95 %d / p99 %d cycles (worst seed)\n"
+    v.Harness.Fleet.total_sheds v.Harness.Fleet.p95_latency v.Harness.Fleet.p99_latency;
+  (match bench_out with
+  | None -> ()
+  | Some path ->
+      Report.write ~path
+        (Report.bench ~name:"fleet"
+           [ ("seeds", Report.Int v.Harness.Fleet.seeds_run);
+             ("hosts", Report.Int Harness.Fleet.n_hosts);
+             ("ff_budget_pct_worst", Report.Float v.Harness.Fleet.ff_budget_pct);
+             ("deaths", Report.Int v.Harness.Fleet.total_deaths);
+             ("drains", Report.Int v.Harness.Fleet.total_drains);
+             ("failovers", Report.Int v.Harness.Fleet.total_failovers);
+             ("lost_processes", Report.Int v.Harness.Fleet.total_lost);
+             ("hb_timeouts", Report.Int v.Harness.Fleet.total_hb_timeouts);
+             ("sheds", Report.Int v.Harness.Fleet.total_sheds);
+             ("double_resumes", Report.Int v.Harness.Fleet.total_double_resumes);
+             ("goodput_supervised", Report.Int v.Harness.Fleet.sup_goodput);
+             ("goodput_unsupervised", Report.Int v.Harness.Fleet.unsup_goodput);
+             ("latency_p95_cycles", Report.Int v.Harness.Fleet.p95_latency);
+             ("latency_p99_cycles", Report.Int v.Harness.Fleet.p99_latency);
+             ("failover_downtime_p50_cycles", Report.Int v.Harness.Fleet.p50_downtime);
+             ("failover_downtime_p95_cycles", Report.Int v.Harness.Fleet.p95_downtime);
+             ("wall_s", Report.Float wall_s);
+             ("failures", Report.Int (List.length v.Harness.Fleet.failures)) ]);
+      Printf.printf "  wrote %s\n" path);
+  (match v.Harness.Fleet.failures with
+  | [] ->
+      Printf.printf
+        "all invariants held: SLO fault-free, supervised goodput beats unsupervised, \
+         exactly-once failover, typed sheds, no leaks, deterministic audit\n"
+  | fails ->
+      List.iter (fun (seed, what) -> Printf.printf "FAILED seed %d: %s\n" seed what) fails);
+  Harness.Fleet.exit_code v
 
 (* --- flight recorder --- *)
 
@@ -706,6 +752,32 @@ let migrate_cmd =
       const run_migrate $ seeds_arg $ base_arg $ crash_seeds_arg $ verbose_arg
       $ bench_out_arg)
 
+let fleet_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N" ~doc:"Number of workload seeds.")
+  in
+  let base_arg =
+    Arg.(value & opt int 1 & info [ "base" ] ~docv:"SEED" ~doc:"First seed of the sweep.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print every seed's report, not just failures.")
+  in
+  let bench_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE" ~doc:"Write a JSON benchmark summary to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run the fleet supervisor under hostile open-loop load: a multi-VMM fleet \
+          of cloaked services behind a load balancer with heartbeat-based failure \
+          detection, migration-based failover and typed load shedding, checking the \
+          fault-free latency SLO, exactly-once failover, graceful degradation and \
+          audit determinism.")
+    Term.(const run_fleet $ seeds_arg $ base_arg $ verbose_arg $ bench_out_arg)
+
 let trace_cmd =
   let workload_arg =
     Arg.(
@@ -838,6 +910,7 @@ let usage_listing =
     ("crash-matrix", "power-cut every journal/device write site across N seeds");
     ("soak", "supervised availability soak under sustained lethal fault plans");
     ("migrate", "live-migrate a cloaked process over a hostile, lossy channel");
+    ("fleet", "fleet supervisor: failover + graceful degradation under open-loop load");
     ("trace", "flight-recorder latency decomposition for one workload");
     ("trace-overhead", "prove the recorder adds zero model cycles");
     ("profile", "exact cycle-attribution tree + flamegraph export (--diff-native)");
@@ -863,5 +936,5 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default:Term.(const run_usage $ const ()) info
           [ kernel_cmd; attack_cmd; counters_cmd; chaos_cmd; recover_cmd; crash_matrix_cmd;
-            soak_cmd; migrate_cmd; trace_cmd; trace_overhead_cmd; profile_cmd; regress_cmd;
-            list_cmd ]))
+            soak_cmd; migrate_cmd; fleet_cmd; trace_cmd; trace_overhead_cmd; profile_cmd;
+            regress_cmd; list_cmd ]))

@@ -51,6 +51,24 @@ let session_key vmm ~session =
   Oscrypto.Hmac.mac ~key:(Vmm.seal_key vmm)
     (Bytes.of_string ("migrate|" ^ session))
 
+(* --- session-key lifecycle ---
+
+   The transfer key is cloaked key material living outside any guest
+   frame, so the flight recorder's scrub-before-free pass would never see
+   it. Model it as a synthetic frame (ids far above any real machine
+   page): held at derivation, scrubbed when zeroized, freed when the
+   endpoint is dropped. An endpoint dropped without scrubbing is exactly
+   the violation the pass reports; the harness drivers therefore
+   [close_*] both ends on COMMIT and ABORT alike. *)
+
+let key_frame ~session ~side =
+  0x400000 lor (Hashtbl.hash (session ^ "|" ^ side) land 0x3FFFFF)
+
+let key_event vmm ~session ~frame kind =
+  let t = Vmm.trace vmm in
+  if Trace.enabled t then
+    Trace.emit t ~ctx:Trace.Vmm ~pid:frame ~site:("mig-key:" ^ session) kind
+
 (* --- wire codec --- *)
 
 let kind_tag = function
@@ -218,6 +236,7 @@ let charge_check vmm n =
 type sender = {
   s_vmm : Vmm.t;
   s_key : bytes;
+  s_keyframe : int;
   s_session : string;
   s_blob : bytes;
   s_chunk_size : int;
@@ -228,6 +247,8 @@ type sender = {
   mutable s_ready : bool;
   mutable s_commit_acked : bool;
   mutable s_abort_acked : bool;
+  mutable s_key_scrubbed : bool;
+  mutable s_dropped : bool;
 }
 
 let default_chunk_size = 512
@@ -235,11 +256,14 @@ let default_chunk_size = 512
 let sender vmm ~session ?(chunk_size = default_chunk_size) blob =
   if chunk_size <= 0 then invalid_arg "Migrate.sender: chunk_size must be positive";
   let key = session_key vmm ~session in
+  let keyframe = key_frame ~session ~side:"snd" in
+  key_event vmm ~session ~frame:keyframe Trace.Page_zero;
   let nchunks = (Bytes.length blob + chunk_size - 1) / chunk_size in
   charge_mac vmm (Bytes.length blob);
   {
     s_vmm = vmm;
     s_key = key;
+    s_keyframe = keyframe;
     s_session = session;
     s_blob = blob;
     s_chunk_size = chunk_size;
@@ -250,7 +274,28 @@ let sender vmm ~session ?(chunk_size = default_chunk_size) blob =
     s_ready = false;
     s_commit_acked = false;
     s_abort_acked = false;
+    s_key_scrubbed = false;
+    s_dropped = false;
   }
+
+let scrub_sender_key s =
+  if not s.s_key_scrubbed then begin
+    s.s_key_scrubbed <- true;
+    Bytes.fill s.s_key 0 (Bytes.length s.s_key) '\000';
+    key_event s.s_vmm ~session:s.s_session ~frame:s.s_keyframe Trace.Frame_scrub
+  end
+
+let drop_sender s =
+  if not s.s_dropped then begin
+    s.s_dropped <- true;
+    key_event s.s_vmm ~session:s.s_session ~frame:s.s_keyframe Trace.Frame_free
+  end
+
+let close_sender s =
+  scrub_sender_key s;
+  drop_sender s
+
+let sender_key_scrubbed s = s.s_key_scrubbed
 
 let emit vmm ~key ~session frame =
   let wire = encode ~key ~session frame in
@@ -312,6 +357,7 @@ let outstanding s =
 type receiver = {
   r_vmm : Vmm.t;
   r_key : bytes;
+  r_keyframe : int;
   r_session : string;
   mutable r_nchunks : int;  (* -1 until a valid OFFER arrives *)
   mutable r_blob_len : int;
@@ -322,12 +368,18 @@ type receiver = {
   mutable r_committed : bool;
   mutable r_aborted : bool;
   mutable r_rejects : reject list;  (* newest first *)
+  mutable r_key_scrubbed : bool;
+  mutable r_dropped : bool;
 }
 
 let receiver vmm ~session =
+  let keyframe = key_frame ~session ~side:"rcv" in
+  let key = session_key vmm ~session in
+  key_event vmm ~session ~frame:keyframe Trace.Page_zero;
   {
     r_vmm = vmm;
-    r_key = session_key vmm ~session;
+    r_key = key;
+    r_keyframe = keyframe;
     r_session = session;
     r_nchunks = -1;
     r_blob_len = 0;
@@ -338,7 +390,28 @@ let receiver vmm ~session =
     r_committed = false;
     r_aborted = false;
     r_rejects = [];
+    r_key_scrubbed = false;
+    r_dropped = false;
   }
+
+let scrub_receiver_key r =
+  if not r.r_key_scrubbed then begin
+    r.r_key_scrubbed <- true;
+    Bytes.fill r.r_key 0 (Bytes.length r.r_key) '\000';
+    key_event r.r_vmm ~session:r.r_session ~frame:r.r_keyframe Trace.Frame_scrub
+  end
+
+let drop_receiver r =
+  if not r.r_dropped then begin
+    r.r_dropped <- true;
+    key_event r.r_vmm ~session:r.r_session ~frame:r.r_keyframe Trace.Frame_free
+  end
+
+let close_receiver r =
+  scrub_receiver_key r;
+  drop_receiver r
+
+let receiver_key_scrubbed r = r.r_key_scrubbed
 
 let rejected r why =
   r.r_rejects <- why :: r.r_rejects;

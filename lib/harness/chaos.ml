@@ -7,12 +7,7 @@ open Machine
 open Guest
 
 let secret = "CHAOS-CANARY-TOP-SECRET-PAYLOAD!"
-
-let contains_secret data =
-  let n = String.length secret and len = Bytes.length data in
-  let rec at i j = j >= n || (Bytes.get data (i + j) = secret.[j] && at i (j + 1)) in
-  let rec go i = i + n <= len && (at i 0 || go (i + 1)) in
-  go 0
+let contains_secret = Sweep.contains_pattern secret
 
 (* --- the workload ---
 
@@ -135,30 +130,12 @@ type report = {
   hot_spots : (string * int) list;
 }
 
-let scan_leaks vmm k =
-  let leaks = ref [] in
-  let add where = if not (List.mem where !leaks) then leaks := where :: !leaks in
-  let mem = Cloak.Vmm.mem vmm in
-  Phys_mem.iter_allocated mem (fun mpn data ->
-      if contains_secret data then add (Printf.sprintf "machine page %d" mpn));
-  Phys_mem.iter_remanent mem (fun mpn data ->
-      if contains_secret data then add (Printf.sprintf "remanent page %d" mpn));
-  let scan_dev name dev =
-    for b = 0 to Blockdev.block_count dev - 1 do
-      if contains_secret (Blockdev.peek dev b) then
-        add (Printf.sprintf "%s block %d" name b)
-    done
-  in
-  scan_dev "disk" (Kernel.disk k);
-  scan_dev "swap" (Kernel.swap_device k);
-  List.rev !leaks
+let scan_leaks vmm k = Sweep.scan_leaks ~pattern:secret vmm k
 
 let run_once ~seed =
   let plan = Inject.random_plan ~seed in
   let engine = Inject.create plan in
-  let vconfig =
-    { Cloak.Vmm.default_config with seed = 0xC4A05 lxor (seed * 0x2545F491) }
-  in
+  let vconfig = Sweep.vconfig ~salt:0xC4A05 ~seed in
   let trace = Trace.ring () in
   let vmm = Cloak.Vmm.create ~config:vconfig ~engine ~trace () in
   let k = Kernel.create ~config:kconfig vmm in
@@ -230,18 +207,12 @@ let run_seeds ?(progress = fun _ -> ()) ~seeds () =
         + List.length
             (List.filter (fun (_, s) -> s = Some (-2)) r.exit_statuses);
       List.iter (fun f -> failures := (seed, f) :: !failures) (check_report r);
-      if r.audit <> r'.audit then begin
-        let dropped = max r.audit_dropped r'.audit_dropped in
-        let what =
-          if dropped > 0 then
-            Printf.sprintf
-              "audit window truncated (%d entries dropped): replay comparison \
-               covers different windows"
-              dropped
-          else "nondeterministic: same seed produced different audit logs"
-        in
-        failures := (seed, what) :: !failures
-      end;
+      (match
+         Sweep.determinism_failure ~audit_a:r.audit ~audit_b:r'.audit
+           ~dropped:(max r.audit_dropped r'.audit_dropped)
+       with
+      | Some what -> failures := (seed, what) :: !failures
+      | None -> ());
       progress r)
     seeds;
   {
@@ -252,7 +223,8 @@ let run_seeds ?(progress = fun _ -> ()) ~seeds () =
     failures = List.rev !failures;
   }
 
-let seeds_from ~base ~count = List.init (max 0 count) (fun i -> base + (i * 7919))
+let seeds_from = Sweep.seeds_from
+let exit_code v = if v.failures = [] then 0 else 1
 
 let pp_report ppf r =
   Format.fprintf ppf "seed %d: %d injections, %d contained, %s@." r.seed

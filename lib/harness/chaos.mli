@@ -66,6 +66,9 @@ val run_seeds :
   ?progress:(report -> unit) -> seeds:int list -> unit -> verdict
 (** Run every seed twice (for the determinism invariant) and aggregate. *)
 
+val exit_code : verdict -> int
+(** Process exit status for the CLI: 0 iff no invariant failed. *)
+
 val seeds_from : base:int -> count:int -> int list
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,965 @@
+(* Fleet supervisor: a multi-VMM fleet of cloaked services behind a load
+   balancer, driven open-loop under a hostile antagonist. Failure
+   detection (phi-accrual suspicion over lossy heartbeats), drain-based
+   failover through the authenticated migration protocol (inheriting the
+   split-brain generation fence), and graceful degradation with typed
+   load shedding. See fleet.mli for the invariants. *)
+
+open Machine
+open Guest
+
+(* --- fleet shape and tunables --- *)
+
+let n_hosts = 3
+
+(* The per-host workload is the migration harness's restart-aware cloaked
+   service (16 units, sealed checkpoint per unit — each checkpoint is a
+   quiesce point where the supervisor's hook runs) plus its uncloaked
+   antagonist, under the soak kernel config and restart policy. *)
+let service = Migrate.service
+let antagonist = Migrate.antagonist
+let kconfig = Migrate.kconfig
+let policy = Migrate.policy
+
+let retry_limit = 8
+let deadline_disk_ops = 400
+
+let max_drain_attempts = 2
+(* aborted drain attempts per suspect host before the supervisor stops
+   trying and leaves the process where it is *)
+
+let max_failover_attempts = 3
+(* transfer attempts when rescuing a dead host's last checkpoint *)
+
+exception Stalled
+(* a transfer round ended with the destination still not READY *)
+
+(* --- layer 1: the mechanism fleet ---
+
+   [n_hosts] full VMM + kernel stacks share one fault engine (a single
+   deterministic audit stream) and the fleet master secret (same vconfig
+   seed, so sealed blobs travel). Hosts run sequentially; host i first
+   adopts any checkpoint drained onto it by an earlier host — the
+   travelling pid claims its slot before the host's own spawns, making
+   pid collisions structurally impossible — then serves under its own
+   supervision hook. *)
+
+type host = {
+  idx : int;
+  vmm : Cloak.Vmm.t;
+  k : Kernel.t;
+  htrace : Trace.t;
+  mutable spawned : bool;
+  mutable pid : int;
+  mutable adopted : (int * int) list;  (* adopted pid, source host *)
+  mutable died : bool;
+  mutable drained : bool;
+  mutable drain_at : int;  (* local cycles when its process left *)
+  mutable death_at : int;  (* local cycles when its power feed died *)
+  mutable end_at : int;    (* local cycles when its run finished *)
+  mutable drain_attempts : int;
+  mutable last_contained : int;
+}
+
+type failover_record = { fo_src : int; fo_dst : int; fo_blob : bytes }
+
+type fleet = {
+  f_seed : int;
+  engine : Inject.t;
+  ch : Cloak.Migrate.channel;
+  bal : Cloak.Balancer.t;
+  hosts : host array;
+  jitter : Oscrypto.Prng.t;
+  mutable sessions : int;
+  pending : (int * int * bytes) list array;
+      (* per destination: (source host, travelling pid, verified blob) *)
+  mutable records : failover_record list;
+  mutable lost : int;        (* cloaked processes lost for good *)
+  mutable drains : int;      (* committed suspicion-triggered drains *)
+  mutable crash_failovers : int;  (* committed post-crash rescues *)
+  mutable downtimes : int list;   (* per committed failover, cycles *)
+  mutable install_cycles : int;
+}
+
+let tag_of pid = Cloak.Resource.tag (Cloak.Resource.Anon pid)
+let coordinator fl = fl.hosts.(0).vmm
+
+let is_stale = function
+  | Cloak.Violation.Security_fault { kind = Cloak.Violation.Stale_checkpoint; _ } ->
+      true
+  | _ -> false
+
+(* Drain the channel in both directions until neither side progresses. *)
+let pump fl rcv snd =
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    (match Cloak.Migrate.recv fl.ch with
+    | Some wire ->
+        progressed := true;
+        List.iter (Cloak.Migrate.reply fl.ch) (Cloak.Migrate.deliver rcv wire)
+    | None -> ());
+    match Cloak.Migrate.recv_reply fl.ch with
+    | Some wire ->
+        progressed := true;
+        Cloak.Migrate.absorb_ack snd wire
+    | None -> ()
+  done
+
+(* Retransmission rounds under the shared guest retry policy — the same
+   envelope as the point-to-point migration harness. *)
+let transfer fl ~src_vmm snd rcv =
+  let c = Cloak.Vmm.counters src_vmm in
+  let disk_op = (Cost.model (Cloak.Vmm.cost src_vmm)).Cost.disk_op in
+  Retry.with_backoff
+    ~deadline_cycles:(deadline_disk_ops * disk_op)
+    ~jitter:fl.jitter ~limit:retry_limit
+    ~retryable:(function Stalled -> true | _ -> false)
+    ~charge:(fun ~cycles ->
+      c.mig_retries <- c.mig_retries + 1;
+      Cloak.Vmm.charge src_vmm cycles)
+    ~base_cost:disk_op ~exhausted:Retry.Deadline_exceeded
+    (fun () ->
+      if not (Cloak.Migrate.offer_acked snd) then
+        Cloak.Migrate.send fl.ch (Cloak.Migrate.offer_wire snd);
+      List.iter (Cloak.Migrate.send fl.ch) (Cloak.Migrate.chunk_wires snd);
+      pump fl rcv snd;
+      if not (Cloak.Migrate.ready snd) then raise Stalled)
+
+(* Post-fence control frames are liveness-only; bounded retry, swallowed. *)
+let nudge fl ~src_vmm snd rcv ~wire ~done_ =
+  let disk_op = (Cost.model (Cloak.Vmm.cost src_vmm)).Cost.disk_op in
+  try
+    Retry.with_backoff ~jitter:fl.jitter ~limit:3
+      ~retryable:(function Stalled -> true | _ -> false)
+      ~charge:(fun ~cycles -> Cloak.Vmm.charge src_vmm cycles)
+      ~base_cost:disk_op ~exhausted:Stalled
+      (fun () ->
+        Cloak.Migrate.send fl.ch (wire ());
+        pump fl rcv snd;
+        if not (done_ ()) then raise Stalled)
+  with Stalled -> ()
+
+(* One authenticated transfer attempt src → dst. On READY: fence (retire
+   the source's seal generation — the split-brain point of no return),
+   COMMIT, scrub both session keys, return the destination's verified
+   blob. On deadline: ABORT, scrub, None — nothing was staled. *)
+let attempt_transfer fl ~src ~dst ~tag ~session blob =
+  let src_vmm = fl.hosts.(src).vmm in
+  let snd = Cloak.Migrate.sender src_vmm ~session blob in
+  let rcv = Cloak.Migrate.receiver fl.hosts.(dst).vmm ~session in
+  let teardown () =
+    Cloak.Migrate.close_sender snd;
+    Cloak.Migrate.close_receiver rcv
+  in
+  match transfer fl ~src_vmm snd rcv with
+  | () ->
+      let gen = Cloak.Vmm.seal_generation src_vmm ~tag in
+      Cloak.Vmm.retire_seal_generation src_vmm ~tag ~gen;
+      nudge fl ~src_vmm snd rcv
+        ~wire:(fun () -> Cloak.Migrate.commit_wire snd)
+        ~done_:(fun () -> Cloak.Migrate.commit_acked snd);
+      let out = Cloak.Migrate.blob rcv in
+      teardown ();
+      out
+  | exception Retry.Deadline_exceeded ->
+      nudge fl ~src_vmm snd rcv
+        ~wire:(fun () -> Cloak.Migrate.abort_wire snd)
+        ~done_:(fun () -> Cloak.Migrate.abort_acked snd);
+      teardown ();
+      None
+
+(* A failover destination must not be running yet (hosts execute
+   sequentially, so a later host can still adopt before it spawns), must
+   look healthy to the balancer, and must not already hold a pending blob
+   with the same travelling pid. Least-burdened peer wins, lowest index
+   on ties. *)
+let choose_target fl ~src ~travelling_pid =
+  let best = ref None in
+  Array.iteri
+    (fun j h ->
+      if
+        j <> src
+        && (not h.spawned)
+        && Cloak.Balancer.state fl.bal j = Cloak.Balancer.Healthy
+        && not
+             (List.exists
+                (fun (_, p, _) -> p = travelling_pid)
+                fl.pending.(j))
+      then begin
+        let load = List.length fl.pending.(j) in
+        match !best with
+        | Some (_, bl) when bl <= load -> ()
+        | _ -> best := Some (j, load)
+      end)
+    fl.hosts;
+  Option.map fst !best
+
+(* The supervision hook: runs inside the host kernel's checkpoint syscall
+   with the process quiesced. Each invocation is one heartbeat interval —
+   the beat rides the hostile network ([Hb_send]), the host's power feed
+   is probed ([Host_power]: a Crash_point kills the whole VMM), contained
+   faults feed the balancer's error term. A host whose suspicion crosses
+   the threshold gets its cloaked process drained onto a healthy peer. *)
+let rec hook fl h blob =
+  let c0 = Cloak.Vmm.counters (coordinator fl) in
+  (match Inject.fire fl.engine Inject.Host_power with
+  | Some Inject.Crash_point -> Inject.crashed Inject.Host_power
+  | Some _ | None -> ());
+  let now = Cost.cycles (Cloak.Vmm.cost h.vmm) in
+  (match Inject.fire fl.engine Inject.Hb_send with
+  | Some _ ->
+      Cloak.Balancer.missed_heartbeat fl.bal h.idx;
+      c0.fleet_hb_timeouts <- c0.fleet_hb_timeouts + 1
+  | None -> Cloak.Balancer.heartbeat fl.bal h.idx ~now);
+  let contained = (Cloak.Vmm.counters h.vmm).contained in
+  for _ = 1 to min 32 (contained - h.last_contained) do
+    Cloak.Balancer.record_error fl.bal h.idx
+  done;
+  h.last_contained <- contained;
+  let rearm () = Kernel.request_migration h.k ~pid:h.pid (hook fl h) in
+  (* Voluntary drains only while the fleet is at full redundancy: once any
+     capacity is lost a second suspect rides out its suspicion — shrinking
+     an already-degraded fleet trades a maybe-sick host for certain
+     queueing pain. Deaths are involuntary and always handled. *)
+  if
+    Cloak.Balancer.suspect fl.bal h.idx ~now
+    && h.drain_attempts < max_drain_attempts
+    && Cloak.Balancer.serving fl.bal = n_hosts
+  then begin
+    h.drain_attempts <- h.drain_attempts + 1;
+    match choose_target fl ~src:h.idx ~travelling_pid:h.pid with
+    | None ->
+        (* nowhere to drain to: keep serving and keep watching *)
+        rearm ();
+        Kernel.Mig_abort
+    | Some dst ->
+        Cloak.Balancer.begin_drain fl.bal h.idx;
+        let t0 = Cost.cycles (Cloak.Vmm.cost h.vmm) in
+        Trace.span_enter h.htrace ~ctx:Trace.Vmm ~site:(tag_of h.pid)
+          Trace.Migration;
+        fl.sessions <- fl.sessions + 1;
+        let session = Printf.sprintf "f%d-h%d-s%d" fl.f_seed h.idx fl.sessions in
+        let outcome =
+          attempt_transfer fl ~src:h.idx ~dst ~tag:(tag_of h.pid) ~session blob
+        in
+        let dt = Cost.cycles (Cloak.Vmm.cost h.vmm) - t0 in
+        let ch = Cloak.Vmm.counters h.vmm in
+        ch.mig_downtime_cycles <- ch.mig_downtime_cycles + dt;
+        Trace.span_exit h.htrace ~ctx:Trace.Vmm ~site:(tag_of h.pid)
+          Trace.Migration;
+        (match outcome with
+        | Some dblob ->
+            h.drained <- true;
+            h.drain_at <- Cost.cycles (Cloak.Vmm.cost h.vmm);
+            fl.pending.(dst) <- (h.idx, h.pid, dblob) :: fl.pending.(dst);
+            fl.records <-
+              { fo_src = h.idx; fo_dst = dst; fo_blob = dblob } :: fl.records;
+            fl.drains <- fl.drains + 1;
+            fl.downtimes <- dt :: fl.downtimes;
+            c0.fleet_failovers <- c0.fleet_failovers + 1;
+            Cloak.Balancer.mark_drained fl.bal h.idx ~now:h.drain_at;
+            Kernel.Mig_commit
+        | None ->
+            (* aborted: resume at the source, nothing was staled *)
+            if h.drain_attempts < max_drain_attempts then rearm ();
+            Kernel.Mig_abort)
+  end
+  else begin
+    rearm ();
+    Kernel.Mig_abort
+  end
+
+(* A host's power feed died mid-run. Rescue its last sealed checkpoint
+   onto a healthy peer over the same fenced protocol; a blackholed
+   channel exhausts the attempt budget and the process is honestly lost —
+   degraded, never duplicated. Processes the host had itself adopted die
+   with it. *)
+let crash_failover fl h =
+  let c0 = Cloak.Vmm.counters (coordinator fl) in
+  h.died <- true;
+  h.death_at <- Cost.cycles (Cloak.Vmm.cost h.vmm);
+  Cloak.Balancer.mark_dead fl.bal h.idx ~now:h.death_at;
+  fl.lost <- fl.lost + List.length h.adopted;
+  if not h.drained then
+    match Kernel.supervision_stats h.k ~pid:h.pid with
+    | None | Some { Kernel.sup_last_checkpoint = None; _ } ->
+        (* died before its first sealed checkpoint: nothing to rescue *)
+        fl.lost <- fl.lost + 1
+    | Some { Kernel.sup_last_checkpoint = Some blob; _ } ->
+        let committed = ref false in
+        let attempts = ref 0 in
+        while (not !committed) && !attempts < max_failover_attempts do
+          incr attempts;
+          match choose_target fl ~src:h.idx ~travelling_pid:h.pid with
+          | None -> attempts := max_failover_attempts
+          | Some dst -> (
+              fl.sessions <- fl.sessions + 1;
+              let session =
+                Printf.sprintf "f%d-x%d-s%d" fl.f_seed h.idx fl.sessions
+              in
+              let t0 = Cost.cycles (Cloak.Vmm.cost h.vmm) in
+              match
+                attempt_transfer fl ~src:h.idx ~dst ~tag:(tag_of h.pid)
+                  ~session blob
+              with
+              | Some dblob ->
+                  committed := true;
+                  let dt = Cost.cycles (Cloak.Vmm.cost h.vmm) - t0 in
+                  fl.pending.(dst) <- (h.idx, h.pid, dblob) :: fl.pending.(dst);
+                  fl.records <-
+                    { fo_src = h.idx; fo_dst = dst; fo_blob = dblob }
+                    :: fl.records;
+                  fl.crash_failovers <- fl.crash_failovers + 1;
+                  fl.downtimes <- dt :: fl.downtimes;
+                  c0.fleet_failovers <- c0.fleet_failovers + 1
+              | None -> ())
+        done;
+        if not !committed then fl.lost <- fl.lost + 1
+
+let adopt_pending fl h errors =
+  List.iter
+    (fun (src, _pid, blob) ->
+      let t0 = Cost.cycles (Cloak.Vmm.cost h.vmm) in
+      match Kernel.adopt_migrated h.k ~policy ~prog:service blob with
+      | p ->
+          fl.install_cycles <-
+            fl.install_cycles + (Cost.cycles (Cloak.Vmm.cost h.vmm) - t0);
+          h.adopted <- (p, src) :: h.adopted
+      | exception e ->
+          errors :=
+            Printf.sprintf "host %d refused blob drained from host %d: %s"
+              h.idx src (Printexc.to_string e)
+            :: !errors)
+    (List.rev fl.pending.(h.idx))
+
+(* --- layer 2: the open-loop overlay ---
+
+   A deterministic discrete-event model of request traffic over the
+   mechanism run's timeline: Poisson arrivals (inverse transform from the
+   seeded PRNG) at 60% of fleet capacity, fixed service time calibrated
+   to 1/200th of the mechanism horizon, bounded per-host queues. The
+   supervised variant routes through {!Cloak.Balancer} fed with the
+   mechanism's drain/death timeline (deaths become visible one detection
+   delay later); the unsupervised baseline routes least-backlogged across
+   all hosts forever — the classic dead-backend failure mode, where the
+   corpse keeps soaking a share of the traffic. *)
+
+type sim = {
+  sim_arrivals : int;
+  sim_admitted : int;
+  sim_completed : int;
+  sim_within_budget : int;
+  sim_lost : int;  (* admitted but never answered *)
+  sim_sheds_overload : int;
+  sim_sheds_draining : int;
+  sim_sheds_no_capacity : int;
+  sim_p50 : int;
+  sim_p95 : int;
+  sim_p99 : int;
+}
+
+let sheds_total s =
+  s.sim_sheds_overload + s.sim_sheds_draining + s.sim_sheds_no_capacity
+
+let budget_pct s =
+  if s.sim_admitted = 0 then 100.0
+  else 100.0 *. float_of_int s.sim_within_budget /. float_of_int s.sim_admitted
+
+(* Goodput: requests answered within the latency budget. *)
+let goodput s = s.sim_within_budget
+
+type timeline = {
+  t_died : bool;
+  t_drained : bool;
+  t_drain_at : int;
+  t_death_at : int;
+  t_end : int;
+}
+
+let simulate ~seed ~mean_gap ~supervised (tl : timeline array) =
+  let n = Array.length tl in
+  let horizon = Array.fold_left (fun a t -> max a t.t_end) 1 tl in
+  let svc = max 1 (horizon / 200) in
+  (* queue bound 6 ⇒ an admitted request on a live host waits at most 6
+     service times, so the budget of 8 is met by construction fault-free *)
+  let budget = 8 * svc in
+  let detect =
+    int_of_float
+      (2.0 *. (if mean_gap > 0.0 then mean_gap else float_of_int (4 * svc)))
+  in
+  let backoff = max 1 (horizon / 6) in
+  let bal =
+    Cloak.Balancer.create ~hosts:n
+      ~rejoin_backoff:(if supervised then backoff else 0) ()
+  in
+  let qb = Cloak.Balancer.queue_bound bal in
+  (* when the supervisor takes host i out of rotation, if ever: a drain is
+     visible immediately (the supervisor did it), a death only after the
+     suspicion threshold's worth of silent heartbeats *)
+  let removal =
+    Array.map
+      (fun t ->
+        if t.t_drained then Some t.t_drain_at
+        else if t.t_died then Some (min horizon (t.t_death_at + detect))
+        else None)
+      tl
+  in
+  let revive =
+    Array.map
+      (function Some r when supervised -> Some (r + backoff) | _ -> None)
+      removal
+  in
+  let removed = Array.make n false in
+  let revived = Array.make n false in
+  let busy = Array.make n 0 in
+  let depth i t = if busy.(i) <= t then 0 else (busy.(i) - t + svc - 1) / svc in
+  let alive i t =
+    (* is host i actually executing requests at [t]? *)
+    let stop =
+      if supervised && tl.(i).t_drained then Some tl.(i).t_drain_at
+      else if tl.(i).t_died then Some tl.(i).t_death_at
+      else None
+    in
+    match stop with
+    | None -> true
+    | Some s -> t < s || (match revive.(i) with Some r -> t >= r | None -> false)
+  in
+  let rng = Oscrypto.Prng.create ~seed:(seed lxor 0xF1A7) in
+  let gap_mean = float_of_int (5 * svc) /. float_of_int (3 * n) in
+  let next_gap () =
+    let u = float_of_int (1 + Oscrypto.Prng.int rng 1_000_000) /. 1_000_001.0 in
+    max 1 (int_of_float (Float.round (-.gap_mean *. log u)))
+  in
+  let hist = Trace.Hist.create () in
+  let arrivals = ref 0 and admitted = ref 0 and completed = ref 0 in
+  let within = ref 0 and lost = ref 0 in
+  let sh_o = ref 0 and sh_d = ref 0 and sh_n = ref 0 in
+  let serve i t_arr =
+    admitted := !admitted + 1;
+    let s = max t_arr busy.(i) in
+    let fin = s + svc in
+    busy.(i) <- fin;
+    let ok =
+      if not (alive i t_arr) then false
+      else
+        let in_revived =
+          match revive.(i) with Some r -> t_arr >= r | None -> false
+        in
+        if in_revived then true
+        else if supervised && tl.(i).t_drained then
+          (* connection draining: in-flight work completes gracefully *)
+          true
+        else if tl.(i).t_died then fin <= tl.(i).t_death_at
+        else true
+    in
+    if ok then begin
+      completed := !completed + 1;
+      let lat = fin - t_arr in
+      Trace.Hist.add hist lat;
+      if lat <= budget then within := !within + 1
+    end
+    else lost := !lost + 1
+  in
+  let t = ref (next_gap ()) in
+  while !t < horizon do
+    arrivals := !arrivals + 1;
+    (* a revived host restarts with an empty queue *)
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Some r when (not revived.(i)) && !t >= r ->
+            revived.(i) <- true;
+            busy.(i) <- !t
+        | _ -> ())
+      revive;
+    if supervised then begin
+      Array.iteri
+        (fun i rm ->
+          match rm with
+          | Some at when (not removed.(i)) && !t >= at ->
+              removed.(i) <- true;
+              if tl.(i).t_drained then begin
+                Cloak.Balancer.begin_drain bal i;
+                Cloak.Balancer.mark_drained bal i ~now:!t
+              end
+              else Cloak.Balancer.mark_dead bal i ~now:!t
+          | _ -> ())
+        removal;
+      Cloak.Balancer.tick bal ~now:!t;
+      for i = 0 to n - 1 do
+        Cloak.Balancer.set_load bal i (depth i !t)
+      done;
+      match Cloak.Balancer.route bal with
+      | Ok i -> serve i !t
+      | Error Cloak.Balancer.Overload -> sh_o := !sh_o + 1
+      | Error Cloak.Balancer.Draining_host -> sh_d := !sh_d + 1
+      | Error Cloak.Balancer.No_capacity -> sh_n := !sh_n + 1
+    end
+    else begin
+      (* no supervisor: least-backlogged host, dead or not *)
+      let best = ref 0 in
+      for i = 1 to n - 1 do
+        if depth i !t < depth !best !t then best := i
+      done;
+      if depth !best !t < qb then serve !best !t else sh_o := !sh_o + 1
+    end;
+    t := !t + next_gap ()
+  done;
+  {
+    sim_arrivals = !arrivals;
+    sim_admitted = !admitted;
+    sim_completed = !completed;
+    sim_within_budget = !within;
+    sim_lost = !lost;
+    sim_sheds_overload = !sh_o;
+    sim_sheds_draining = !sh_d;
+    sim_sheds_no_capacity = !sh_n;
+    sim_p50 = Trace.Hist.percentile hist 0.5;
+    sim_p95 = Trace.Hist.percentile hist 0.95;
+    sim_p99 = Trace.Hist.percentile hist 0.99;
+  }
+
+(* --- one fleet scenario --- *)
+
+type run = {
+  r_deaths : int;
+  r_drains : int;
+  r_failovers : int;  (* committed: drains + post-crash rescues *)
+  r_lost : int;
+  r_hb_timeouts : int;
+  r_double_resumes : int;
+  r_downtimes : int list;
+  r_install_cycles : int;
+  r_sup : sim;
+  r_unsup : sim;
+  r_leaks : string list;
+  r_trace_failures : string list;
+  r_mech_failures : string list;
+  r_audit : string list;
+  r_audit_dropped : int;
+  r_crash : string option;  (* an exception that escaped the harness *)
+}
+
+let run_once ~plan ~seed =
+  let engine = Inject.create plan in
+  (* every host shares the fleet master secret: same vconfig seed *)
+  let vconfig = Sweep.vconfig ~salt:0xF1EE7 ~seed in
+  let mk idx =
+    let htrace = Trace.ring () in
+    let vmm = Cloak.Vmm.create ~config:vconfig ~engine ~trace:htrace () in
+    let k = Kernel.create ~config:kconfig vmm in
+    {
+      idx; vmm; k; htrace; spawned = false; pid = -1; adopted = [];
+      died = false; drained = false; drain_at = 0; death_at = 0; end_at = 0;
+      drain_attempts = 0; last_contained = 0;
+    }
+  in
+  let hosts = Array.init n_hosts mk in
+  let fl =
+    {
+      f_seed = seed;
+      engine;
+      ch = Cloak.Migrate.channel ~engine ();
+      bal = Cloak.Balancer.create ~hosts:n_hosts ();
+      hosts;
+      jitter = Oscrypto.Prng.create ~seed:(seed lxor 0xF7EE);
+      sessions = 0;
+      pending = Array.make n_hosts [];
+      records = [];
+      lost = 0;
+      drains = 0;
+      crash_failovers = 0;
+      downtimes = [];
+      install_cycles = 0;
+    }
+  in
+  let errors = ref [] in
+  let escaped = ref None in
+  Array.iter
+    (fun h ->
+      if !escaped = None then begin
+        adopt_pending fl h errors;
+        h.pid <- Kernel.spawn_supervised h.k ~policy service;
+        ignore (Kernel.spawn h.k antagonist);
+        h.spawned <- true;
+        Kernel.request_migration h.k ~pid:h.pid (hook fl h);
+        (try Kernel.run h.k with
+        | Inject.Vmm_crash _ -> crash_failover fl h
+        | e -> escaped := Some (Printexc.to_string e));
+        h.end_at <- Cost.cycles (Cloak.Vmm.cost h.vmm)
+      end)
+    hosts;
+  (* snapshot the deterministic surfaces before the probes below append
+     to the shared audit trail *)
+  let audit = Inject.Audit.lines (Cloak.Vmm.audit (coordinator fl)) in
+  let audit_dropped = Inject.Audit.dropped (Cloak.Vmm.audit (coordinator fl)) in
+  (* every process failed over onto a surviving host must have finished *)
+  Array.iter
+    (fun h ->
+      if h.spawned && not h.died then
+        List.iter
+          (fun (pid, src) ->
+            if Kernel.exit_status h.k ~pid <> Some 0 then
+              errors :=
+                Printf.sprintf
+                  "process failed over from host %d did not finish on host %d"
+                  src h.idx
+                :: !errors)
+          h.adopted)
+    hosts;
+  (* exactly-once: the fence at the source and consumption at the
+     destination must both refuse a second resume of every failover *)
+  let double_resumes = ref 0 in
+  if !escaped = None then
+    List.iter
+      (fun r ->
+        (match Cloak.Seal.unseal fl.hosts.(r.fo_src).vmm r.fo_blob with
+        | _ -> incr double_resumes
+        | exception e when is_stale e -> ());
+        match
+          Kernel.adopt_migrated fl.hosts.(r.fo_dst).k ~policy ~prog:service
+            r.fo_blob
+        with
+        | _ -> incr double_resumes
+        | exception e when is_stale e -> ())
+      fl.records;
+  let wire = Cloak.Migrate.wire_log fl.ch in
+  let leaks =
+    List.concat_map
+      (fun h ->
+        List.map
+          (fun s -> Printf.sprintf "host %d %s" h.idx s)
+          (Soak.scan_leaks h.vmm h.k))
+      (Array.to_list hosts)
+    @ List.concat
+        (List.mapi
+           (fun i w ->
+             if Soak.contains_canary w then [ Printf.sprintf "wire frame %d" i ]
+             else [])
+           wire)
+  in
+  let trace_failures =
+    List.concat_map
+      (fun h ->
+        List.map
+          (fun f -> Printf.sprintf "host %d: %s" h.idx f)
+          (Trace.Check.verdict h.htrace))
+      (Array.to_list hosts)
+  in
+  let tl =
+    Array.map
+      (fun h ->
+        {
+          t_died = h.died;
+          t_drained = h.drained;
+          t_drain_at = h.drain_at;
+          t_death_at = h.death_at;
+          t_end = max 1 h.end_at;
+        })
+      hosts
+  in
+  let mean_gap =
+    let sum = ref 0.0 and cnt = ref 0 in
+    Array.iteri
+      (fun i _ ->
+        let g = Cloak.Balancer.mean_gap fl.bal i in
+        if g > 0.0 then begin
+          sum := !sum +. g;
+          incr cnt
+        end)
+      hosts;
+    if !cnt = 0 then 0.0 else !sum /. float_of_int !cnt
+  in
+  let sup = simulate ~seed ~mean_gap ~supervised:true tl in
+  let unsup = simulate ~seed ~mean_gap ~supervised:false tl in
+  let c0 = Cloak.Vmm.counters (coordinator fl) in
+  c0.fleet_sheds <- c0.fleet_sheds + sheds_total sup;
+  let deaths =
+    Array.fold_left (fun a h -> if h.died then a + 1 else a) 0 hosts
+  in
+  {
+    r_deaths = deaths;
+    r_drains = fl.drains;
+    r_failovers = fl.drains + fl.crash_failovers;
+    r_lost = fl.lost;
+    r_hb_timeouts = c0.fleet_hb_timeouts;
+    r_double_resumes = !double_resumes;
+    r_downtimes = List.rev fl.downtimes;
+    r_install_cycles = fl.install_cycles;
+    r_sup = sup;
+    r_unsup = unsup;
+    r_leaks = leaks;
+    r_trace_failures = trace_failures;
+    r_mech_failures = List.rev !errors;
+    r_audit = audit;
+    r_audit_dropped = audit_dropped;
+    r_crash = !escaped;
+  }
+
+(* --- hostile fleet plans --- *)
+
+(* Lossy heartbeats (bursts of consecutive drops, so suspicion can
+   accrue), one guaranteed power cut early enough that the surviving
+   window exposes the supervised/unsupervised gap, and bounded channel
+   mayhem on the failover path. Crash_point never rides the Mig_* sites:
+   a host dies at its power feed, not mid-protocol. *)
+let fleet_plan ~seed =
+  let r = Oscrypto.Prng.create ~seed:(seed lxor 0xF1EE7D) in
+  let int = Oscrypto.Prng.int in
+  let hb _ =
+    {
+      Inject.site = Inject.Hb_send;
+      trigger =
+        { Inject.start = 2 + int r 28; every = 1 + int r 2; count = 2 + int r 4 };
+      action = Inject.Drop;
+    }
+  in
+  let hbs = List.init (1 + int r 2) hb in
+  let kill =
+    {
+      Inject.site = Inject.Host_power;
+      trigger = Inject.once ~at:(2 + int r 10);
+      action = Inject.Crash_point;
+    }
+  in
+  let mig _ =
+    let site =
+      match int r 3 with
+      | 0 -> Inject.Mig_send
+      | 1 -> Inject.Mig_recv
+      | _ -> Inject.Mig_ack
+    in
+    let action =
+      match int r 5 with
+      | 0 -> Inject.Drop
+      | 1 -> Inject.Duplicate
+      | 2 -> Inject.Delay (1 + int r 3)
+      | 3 -> Inject.Bit_flip (int r 600)
+      | _ -> Inject.Reorder
+    in
+    {
+      Inject.site;
+      trigger =
+        { Inject.start = 1 + int r 12; every = 1 + int r 4; count = 1 + int r 4 };
+      action;
+    }
+  in
+  let migs = List.init (1 + int r 3) mig in
+  Inject.plan ~seed (hbs @ (kill :: migs))
+
+(* A host dies early and every failover frame is eaten: rescue is
+   impossible, so the fleet must degrade — account the process lost,
+   keep serving on the survivors, never resume two incarnations. *)
+let blackhole_plan ~seed =
+  Inject.plan ~seed
+    [
+      {
+        Inject.site = Inject.Host_power;
+        trigger = Inject.once ~at:4;
+        action = Inject.Crash_point;
+      };
+      {
+        Inject.site = Inject.Mig_send;
+        trigger = Inject.always;
+        action = Inject.Drop;
+      };
+    ]
+
+(* --- seed runner and invariants --- *)
+
+type seed_report = {
+  seed : int;
+  ff_budget_pct : float;
+  deaths : int;
+  drains : int;
+  failovers : int;
+  lost_procs : int;
+  hb_timeouts : int;
+  sup_goodput : int;
+  unsup_goodput : int;
+  sheds : int;
+  sheds_overload : int;
+  sheds_draining : int;
+  sheds_no_capacity : int;
+  p50_latency : int;
+  p95_latency : int;
+  p99_latency : int;
+  downtimes : int list;
+  double_resumes : int;
+  audit_dropped : int;
+  failures : string list;
+}
+
+let run_seed ~seed =
+  let fails = ref [] in
+  let fail m = fails := m :: !fails in
+  let ff = run_once ~plan:(Inject.plan ~seed []) ~seed in
+  let hplan = fleet_plan ~seed in
+  let h1 = run_once ~plan:hplan ~seed in
+  let h2 = run_once ~plan:hplan ~seed in
+  let bh = run_once ~plan:(blackhole_plan ~seed) ~seed in
+  (* fault-free: full service, nobody dies, the latency SLO holds *)
+  if ff.r_deaths > 0 || ff.r_drains > 0 then fail "fault-free fleet lost a host";
+  if ff.r_lost > 0 then fail "fault-free fleet lost a process";
+  if budget_pct ff.r_sup < 99.0 then
+    fail
+      (Printf.sprintf
+         "fault-free SLO: only %.1f%% of admitted requests within budget"
+         (budget_pct ff.r_sup));
+  (* hostile: replay determinism over the shared audit stream *)
+  (match
+     Sweep.determinism_failure ~audit_a:h1.r_audit ~audit_b:h2.r_audit
+       ~dropped:(h1.r_audit_dropped + h2.r_audit_dropped)
+   with
+  | Some what -> fail ("hostile " ^ what)
+  | None -> ());
+  if h1.r_deaths < 1 then fail "lethal plan failed to kill any host";
+  List.iter
+    (fun (name, (r : run)) ->
+      (match r.r_crash with
+      | Some e -> fail (Printf.sprintf "%s: escaped the harness: %s" name e)
+      | None -> ());
+      List.iter (fun l -> fail (name ^ ": canary leaked to " ^ l)) r.r_leaks;
+      List.iter (fun f -> fail (name ^ ": trace: " ^ f)) r.r_trace_failures;
+      List.iter (fun f -> fail (name ^ ": " ^ f)) r.r_mech_failures;
+      if r.r_double_resumes > 0 then
+        fail
+          (Printf.sprintf "%s: %d double resume(s) past the fence" name
+             r.r_double_resumes))
+    [ ("fault-free", ff); ("hostile", h1); ("blackhole", bh) ];
+  (* under a lethal antagonist, supervision must strictly beat its
+     absence on goodput — removing the corpse from rotation wins more
+     than detection lag and reduced-service sheds cost *)
+  if h1.r_deaths > 0 && goodput h1.r_sup <= goodput h1.r_unsup then
+    fail
+      (Printf.sprintf "hostile: supervised goodput %d not above unsupervised %d"
+         (goodput h1.r_sup) (goodput h1.r_unsup));
+  if bh.r_deaths < 1 then fail "blackhole plan failed to kill any host";
+  if bh.r_failovers > 0 then
+    fail "blackhole: a failover committed through a dead channel";
+  if bh.r_deaths > 0 && bh.r_lost < 1 then
+    fail "blackhole: dead host's process not accounted lost";
+  if bh.r_deaths > 0 && goodput bh.r_sup <= goodput bh.r_unsup then
+    fail
+      (Printf.sprintf
+         "blackhole: supervised goodput %d not above unsupervised %d"
+         (goodput bh.r_sup) (goodput bh.r_unsup));
+  {
+    seed;
+    ff_budget_pct = budget_pct ff.r_sup;
+    deaths = ff.r_deaths + h1.r_deaths + bh.r_deaths;
+    drains = ff.r_drains + h1.r_drains + bh.r_drains;
+    failovers = ff.r_failovers + h1.r_failovers + bh.r_failovers;
+    lost_procs = ff.r_lost + h1.r_lost + bh.r_lost;
+    hb_timeouts = ff.r_hb_timeouts + h1.r_hb_timeouts + bh.r_hb_timeouts;
+    sup_goodput = goodput h1.r_sup;
+    unsup_goodput = goodput h1.r_unsup;
+    sheds = sheds_total h1.r_sup + sheds_total bh.r_sup;
+    sheds_overload = h1.r_sup.sim_sheds_overload + bh.r_sup.sim_sheds_overload;
+    sheds_draining = h1.r_sup.sim_sheds_draining + bh.r_sup.sim_sheds_draining;
+    sheds_no_capacity =
+      h1.r_sup.sim_sheds_no_capacity + bh.r_sup.sim_sheds_no_capacity;
+    p50_latency = h1.r_sup.sim_p50;
+    p95_latency = h1.r_sup.sim_p95;
+    p99_latency = h1.r_sup.sim_p99;
+    downtimes = ff.r_downtimes @ h1.r_downtimes @ bh.r_downtimes;
+    double_resumes =
+      ff.r_double_resumes + h1.r_double_resumes + bh.r_double_resumes;
+    audit_dropped =
+      max ff.r_audit_dropped
+        (max bh.r_audit_dropped (max h1.r_audit_dropped h2.r_audit_dropped));
+    failures = List.rev !fails;
+  }
+
+type verdict = {
+  seeds_run : int;
+  ff_budget_pct : float;  (* worst seed *)
+  total_deaths : int;
+  total_drains : int;
+  total_failovers : int;
+  total_lost : int;
+  total_hb_timeouts : int;
+  total_sheds : int;
+  total_double_resumes : int;
+  sup_goodput : int;
+  unsup_goodput : int;
+  p95_latency : int;       (* worst seed, hostile supervised *)
+  p99_latency : int;       (* worst seed, hostile supervised *)
+  p50_downtime : int;
+  p95_downtime : int;
+  reports : seed_report list;
+  failures : (int * string) list;
+}
+
+let run_seeds ?progress ~seeds () =
+  let reports =
+    Sweep.map_seeds ?progress ~run:(fun ~seed -> run_seed ~seed) seeds
+  in
+  let hist = Trace.Hist.create () in
+  List.iter
+    (fun r -> List.iter (fun d -> if d > 0 then Trace.Hist.add hist d) r.downtimes)
+    reports;
+  let sum f = List.fold_left (fun a r -> a + f r) 0 reports in
+  let worst f init cmp =
+    List.fold_left (fun a r -> if cmp (f r) a then f r else a) init reports
+  in
+  {
+    seeds_run = List.length reports;
+    ff_budget_pct = worst (fun r -> r.ff_budget_pct) 100.0 ( < );
+    total_deaths = sum (fun r -> r.deaths);
+    total_drains = sum (fun r -> r.drains);
+    total_failovers = sum (fun r -> r.failovers);
+    total_lost = sum (fun r -> r.lost_procs);
+    total_hb_timeouts = sum (fun r -> r.hb_timeouts);
+    total_sheds = sum (fun r -> r.sheds);
+    total_double_resumes = sum (fun r -> r.double_resumes);
+    sup_goodput = sum (fun r -> r.sup_goodput);
+    unsup_goodput = sum (fun r -> r.unsup_goodput);
+    p95_latency = worst (fun r -> r.p95_latency) 0 ( > );
+    p99_latency = worst (fun r -> r.p99_latency) 0 ( > );
+    p50_downtime = Trace.Hist.percentile hist 0.5;
+    p95_downtime = Trace.Hist.percentile hist 0.95;
+    reports;
+    failures =
+      Sweep.collect_failures
+        ~seed_of:(fun r -> r.seed)
+        ~failures_of:(fun r -> r.failures)
+        reports;
+  }
+
+let exit_code v = if v.failures = [] then 0 else 1
+
+let seeds_from = Sweep.seeds_from
+
+(* --- presentation --- *)
+
+let pp_seed_report ppf (r : seed_report) =
+  Format.fprintf ppf
+    "seed %d: ff %.1f%% in budget; %d death%s, %d drain%s, %d failover%s, %d \
+     lost, %d hb timeouts; goodput sup=%d unsup=%d; %d sheds (%d overload, \
+     %d draining, %d no-capacity); latency p95=%d p99=%d%s%s"
+    r.seed r.ff_budget_pct r.deaths
+    (if r.deaths = 1 then "" else "s")
+    r.drains
+    (if r.drains = 1 then "" else "s")
+    r.failovers
+    (if r.failovers = 1 then "" else "s")
+    r.lost_procs r.hb_timeouts r.sup_goodput r.unsup_goodput r.sheds
+    r.sheds_overload r.sheds_draining r.sheds_no_capacity r.p95_latency
+    r.p99_latency
+    (if r.failures = [] then "" else " INVARIANTS BROKEN: ")
+    (String.concat "; " r.failures)
+
+let summary_line (v : verdict) =
+  Printf.sprintf
+    "fleet: %d seeds, ff %.1f%% in budget (worst), %d deaths, %d drains, %d \
+     failovers (%d lost, 0-double-resume=%b), goodput sup=%d unsup=%d, %d \
+     sheds, %d hb timeouts, failover downtime p50=%d p95=%d cycles, %d \
+     invariant failures"
+    v.seeds_run v.ff_budget_pct v.total_deaths v.total_drains v.total_failovers
+    v.total_lost
+    (v.total_double_resumes = 0)
+    v.sup_goodput v.unsup_goodput v.total_sheds v.total_hb_timeouts
+    v.p50_downtime v.p95_downtime
+    (List.length v.failures)

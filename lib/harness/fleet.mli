@@ -1,0 +1,160 @@
+(** Fleet supervisor harness: a multi-VMM fleet of cloaked services
+    behind a load balancer, driven open-loop under a hostile antagonist.
+
+    Three full VMM + kernel stacks share one fault-injection engine (a
+    single deterministic audit stream) and the fleet master secret, each
+    running the migration harness's restart-aware cloaked service under
+    a supervision hook that fires at every checkpoint quiesce:
+
+    - {b detection} — each hook invocation is a heartbeat. The beat rides
+      the hostile network ([Inject.Hb_send]: a fired rule is a lost
+      beat), the host's power feed is probed ([Inject.Host_power]: a
+      [Crash_point] kills the whole VMM), and contained faults feed the
+      balancer's error term. {!Cloak.Balancer.suspicion} accrues
+      phi-accrual-style evidence over all three.
+    - {b failover} — a suspect host's cloaked process is drained onto a
+      healthy peer through the authenticated {!Cloak.Migrate} protocol,
+      inheriting the seal-generation fence: the source is staled before
+      COMMIT, so no failover can ever resume twice. A host that dies
+      outright has its last sealed checkpoint rescued the same way; a
+      blackholed channel exhausts the attempt budget and the process is
+      honestly counted lost — degraded, never duplicated.
+    - {b graceful degradation} — an open-loop overlay (deterministic
+      Poisson arrivals at 60% of fleet capacity, bounded per-host
+      queues) routes through {!Cloak.Balancer}: requests that cannot be
+      placed are shed with a typed reason, never queued unboundedly, and
+      lost capacity halves the admission bound fleet-wide. Dead hosts
+      re-admit after a backoff at reduced service. The same arrival
+      process replayed without a supervisor (dead backends keep soaking
+      traffic) is the goodput baseline the supervised fleet must beat. *)
+
+val n_hosts : int
+
+val service : Guest.Abi.program
+val antagonist : Guest.Abi.program
+val kconfig : Guest.Kernel.config
+val policy : Guest.Kernel.restart_policy
+
+val max_drain_attempts : int
+(** Aborted drain attempts per suspect host before the supervisor stops
+    trying. *)
+
+val max_failover_attempts : int
+(** Transfer attempts when rescuing a dead host's last checkpoint. *)
+
+(** {1 Plans} *)
+
+val fleet_plan : seed:int -> Inject.plan
+(** Lossy heartbeat bursts, one guaranteed mid-run power cut, bounded
+    channel mayhem on the failover path. *)
+
+val blackhole_plan : seed:int -> Inject.plan
+(** An early power cut with every failover frame eaten: rescue is
+    impossible, the fleet must degrade without duplicating anyone. *)
+
+(** {1 The open-loop overlay} *)
+
+type sim = {
+  sim_arrivals : int;
+  sim_admitted : int;
+  sim_completed : int;
+  sim_within_budget : int;
+  sim_lost : int;  (** admitted but never answered *)
+  sim_sheds_overload : int;
+  sim_sheds_draining : int;
+  sim_sheds_no_capacity : int;
+  sim_p50 : int;
+  sim_p95 : int;
+  sim_p99 : int;
+}
+
+val sheds_total : sim -> int
+val budget_pct : sim -> float
+val goodput : sim -> int
+(** Requests answered within the latency budget. *)
+
+(** {1 One scenario} *)
+
+type run = {
+  r_deaths : int;
+  r_drains : int;
+  r_failovers : int;  (** committed: drains + post-crash rescues *)
+  r_lost : int;
+  r_hb_timeouts : int;
+  r_double_resumes : int;
+  r_downtimes : int list;
+  r_install_cycles : int;
+  r_sup : sim;
+  r_unsup : sim;
+  r_leaks : string list;
+  r_trace_failures : string list;
+  r_mech_failures : string list;
+  r_audit : string list;
+  r_audit_dropped : int;
+  r_crash : string option;
+}
+
+val run_once : plan:Inject.plan -> seed:int -> run
+
+(** {1 Seed sweep} *)
+
+type seed_report = {
+  seed : int;
+  ff_budget_pct : float;
+  deaths : int;
+  drains : int;
+  failovers : int;
+  lost_procs : int;
+  hb_timeouts : int;
+  sup_goodput : int;
+  unsup_goodput : int;
+  sheds : int;
+  sheds_overload : int;
+  sheds_draining : int;
+  sheds_no_capacity : int;
+  p50_latency : int;
+  p95_latency : int;
+  p99_latency : int;
+  downtimes : int list;
+  double_resumes : int;
+  audit_dropped : int;
+  failures : string list;
+}
+
+val run_seed : seed:int -> seed_report
+(** Four full fleet runs: fault-free (the latency SLO must hold for
+    ≥99% of admitted requests), the hostile plan twice (audit-stream
+    determinism), and the blackhole plan (graceful degradation). Every
+    committed failover is probed for double resume at both ends. *)
+
+type verdict = {
+  seeds_run : int;
+  ff_budget_pct : float;  (** worst seed *)
+  total_deaths : int;
+  total_drains : int;
+  total_failovers : int;
+  total_lost : int;
+  total_hb_timeouts : int;
+  total_sheds : int;
+  total_double_resumes : int;
+  sup_goodput : int;
+  unsup_goodput : int;
+  p95_latency : int;  (** worst seed, hostile supervised *)
+  p99_latency : int;  (** worst seed, hostile supervised *)
+  p50_downtime : int;
+  p95_downtime : int;
+  reports : seed_report list;
+  failures : (int * string) list;
+}
+
+val run_seeds :
+  ?progress:(seed_report -> unit) -> seeds:int list -> unit -> verdict
+
+val exit_code : verdict -> int
+(** Process exit status for the CLI: 0 iff no invariant failed. *)
+
+val seeds_from : base:int -> count:int -> int list
+
+val pp_seed_report : Format.formatter -> seed_report -> unit
+
+val summary_line : verdict -> string

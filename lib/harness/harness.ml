@@ -1,7 +1,10 @@
+module Sweep = Sweep
 module Chaos = Chaos
 module Crash = Crash
 module Soak = Soak
 module Migrate = Migrate
+module Balancer = Cloak.Balancer
+module Fleet = Fleet
 
 open Machine
 open Guest

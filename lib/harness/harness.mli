@@ -2,6 +2,10 @@
     CLI: builds a fresh VMM + kernel stack, runs a scenario, and reports
     deterministic cycle counts and event counters. *)
 
+module Sweep = Sweep
+(** Re-export: the shared seed-sweep scaffolding every antagonist harness
+    is built on (canary scans, per-seed configs, determinism check). *)
+
 module Chaos = Chaos
 (** Re-export: the seeded chaos harness (randomized fault plans over a
     mixed cloaked/uncloaked workload; see {!Chaos.run_seeds}). *)
@@ -19,6 +23,15 @@ module Migrate = Migrate
 (** Re-export: live migration of a cloaked process over a hostile, lossy
     channel, with a crash matrix on both sides (see
     {!Migrate.run_seeds}). *)
+
+module Balancer = Cloak.Balancer
+(** Re-export: the fleet supervision policy layer (suspicion scoring,
+    admission control, routing) the fleet harness drives. *)
+
+module Fleet = Fleet
+(** Re-export: the multi-VMM fleet under open-loop load — failure
+    detection, migration-based failover, graceful degradation (see
+    {!Fleet.run_seeds}). *)
 
 type result = {
   cycles : int;                 (** model cycles consumed by the scenario *)

@@ -202,6 +202,13 @@ let rec handler st blob =
     Trace.span_exit st.src_trace ~ctx:Trace.Vmm ~site:(tag_of st) Trace.Migration;
     decision
   in
+  (* Either way the session is over once the final nudge lands: scrub
+     both endpoints' copies of the session key and drop them, so the
+     flight recorder's scrub-before-free pass covers the key material. *)
+  let teardown () =
+    Cloak.Migrate.close_sender snd;
+    Cloak.Migrate.close_receiver rcv
+  in
   match transfer_rounds st snd rcv with
   | () ->
       Cloak.Vmm.retire_seal_generation st.src_vmm ~tag:(tag_of st) ~gen:st.gen;
@@ -209,11 +216,13 @@ let rec handler st blob =
       nudge st snd rcv
         ~wire:(fun () -> Cloak.Migrate.commit_wire snd)
         ~done_:(fun () -> Cloak.Migrate.commit_acked snd);
+      teardown ();
       finish Kernel.Mig_commit
   | exception Retry.Deadline_exceeded ->
       nudge st snd rcv
         ~wire:(fun () -> Cloak.Migrate.abort_wire snd)
         ~done_:(fun () -> Cloak.Migrate.abort_acked snd);
+      teardown ();
       if st.attempts >= max_attempts then st.breaker <- true
       else Kernel.request_migration st.src_k ~pid:st.pid (handler st);
       finish Kernel.Mig_abort
@@ -256,10 +265,8 @@ let is_stale = function
 
 let run_once ~plan ~seed =
   let engine = Inject.create plan in
-  let vconfig =
-    (* both VMMs share the fleet master secret: same seed *)
-    { Cloak.Vmm.default_config with seed = 0x317E lxor (seed * 0x2545F491) }
-  in
+  (* both VMMs share the fleet master secret: same seed *)
+  let vconfig = Sweep.vconfig ~salt:0x317E ~seed in
   let src_trace = Trace.ring () and dst_trace = Trace.ring () in
   let src_vmm = Cloak.Vmm.create ~config:vconfig ~engine ~trace:src_trace () in
   let dst_vmm = Cloak.Vmm.create ~config:vconfig ~trace:dst_trace () in
@@ -560,14 +567,7 @@ type verdict = {
 }
 
 let run_seeds ?progress ~seeds () =
-  let reports =
-    List.map
-      (fun seed ->
-        let r = run_seed ~seed in
-        (match progress with Some f -> f r | None -> ());
-        r)
-      seeds
-  in
+  let reports = Sweep.map_seeds ?progress ~run:(fun ~seed -> run_seed ~seed) seeds in
   let hist = Trace.Hist.create () in
   List.iter
     (fun r ->
@@ -590,7 +590,10 @@ let run_seeds ?progress ~seeds () =
     total_wire_frames = sum (fun r -> r.wire_frames);
     reports;
     failures =
-      List.concat_map (fun r -> List.map (fun f -> (r.seed, f)) r.failures) reports;
+      Sweep.collect_failures
+        ~seed_of:(fun r -> r.seed)
+        ~failures_of:(fun r -> r.failures)
+        reports;
   }
 
 (* --- crash matrix over the channel sites ---
@@ -723,6 +726,9 @@ let run_crash_matrix ?per_site ~seeds () =
     crash_fenced = !fenced;
     matrix_failures = List.rev !fails;
   }
+
+let exit_code v c =
+  if v.failures = [] && c.matrix_failures = [] then 0 else 1
 
 (* --- presentation --- *)
 

@@ -132,6 +132,10 @@ val run_crash_matrix :
 (** Calibrate each seed's clean run for [Mig_*] occurrence counts, then
     sample up to [per_site] (default 4) crash points per site. *)
 
+val exit_code : verdict -> crash_report -> int
+(** Process exit status for the CLI: 0 iff neither the sweep nor the
+    crash matrix broke an invariant. *)
+
 val pp_seed_report : Format.formatter -> seed_report -> unit
 
 val summary_line : verdict -> string

@@ -6,12 +6,7 @@ open Machine
 open Guest
 
 let canary = "SOAK-CANARY-SEALED-STATE-SECRET!"
-
-let contains_canary data =
-  let n = String.length canary and len = Bytes.length data in
-  let rec at i j = j >= n || (Bytes.get data (i + j) = canary.[j] && at i (j + 1)) in
-  let rec go i = i + n <= len && (at i 0 || go (i + 1)) in
-  go 0
+let contains_canary = Sweep.contains_pattern canary
 
 (* --- the workload ---
 
@@ -196,29 +191,11 @@ type run = {
   hot_spots : (string * int) list;
 }
 
-let scan_leaks vmm k =
-  let leaks = ref [] in
-  let add where = if not (List.mem where !leaks) then leaks := where :: !leaks in
-  let mem = Cloak.Vmm.mem vmm in
-  Phys_mem.iter_allocated mem (fun mpn data ->
-      if contains_canary data then add (Printf.sprintf "machine page %d" mpn));
-  Phys_mem.iter_remanent mem (fun mpn data ->
-      if contains_canary data then add (Printf.sprintf "remanent page %d" mpn));
-  let scan_dev name dev =
-    for b = 0 to Blockdev.block_count dev - 1 do
-      if contains_canary (Blockdev.peek dev b) then
-        add (Printf.sprintf "%s block %d" name b)
-    done
-  in
-  scan_dev "disk" (Kernel.disk k);
-  scan_dev "swap" (Kernel.swap_device k);
-  List.rev !leaks
+let scan_leaks vmm k = Sweep.scan_leaks ~pattern:canary vmm k
 
 let run_once ~plan ~seed ~supervised =
   let engine = Inject.create plan in
-  let vconfig =
-    { Cloak.Vmm.default_config with seed = 0xC4A05 lxor (seed * 0x2545F491) }
-  in
+  let vconfig = Sweep.vconfig ~salt:0xC4A05 ~seed in
   let trace = Trace.ring () in
   let vmm = Cloak.Vmm.create ~config:vconfig ~engine ~trace () in
   let k = Kernel.create ~config:kconfig vmm in
@@ -363,18 +340,12 @@ let run_seed ~seed =
       | None -> ())
     [ sup; unsup ];
   (* 3: determinism — same seed, same mode, bit-identical audit *)
-  if sup.audit <> sup'.audit then begin
-    let dropped = max sup.audit_dropped sup'.audit_dropped in
-    let what =
-      if dropped > 0 then
-        Printf.sprintf
-          "audit window truncated (%d entries dropped): replay comparison \
-           covers different windows"
-          dropped
-      else "nondeterministic: same seed produced different audit logs"
-    in
-    fails := what :: !fails
-  end;
+  (match
+     Sweep.determinism_failure ~audit_a:sup.audit ~audit_b:sup'.audit
+       ~dropped:(max sup.audit_dropped sup'.audit_dropped)
+   with
+  | Some what -> fails := what :: !fails
+  | None -> ());
   List.iter (fun f -> fails := f :: !fails) (check_privacy sup);
   List.iter (fun f -> fails := f :: !fails) (check_privacy unsup);
   List.iter (fun f -> fails := f :: !fails) (check_stale sup);
@@ -401,14 +372,11 @@ let run_seed ~seed =
   }
 
 let run_seeds ?(progress = fun _ -> ()) ~seeds () =
-  let reports = List.map (fun seed ->
-      let r = run_seed ~seed in
-      progress r;
-      r)
-      seeds
-  in
+  let reports = Sweep.map_seeds ~progress ~run:(fun ~seed -> run_seed ~seed) seeds in
   let failures =
-    List.concat_map (fun r -> List.map (fun f -> (r.seed, f)) r.failures) reports
+    Sweep.collect_failures ~seed_of:(fun r -> r.seed)
+      ~failures_of:(fun r -> r.failures)
+      reports
   in
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
   let mean_pct num den =
@@ -459,6 +427,12 @@ let pp_seed_report ppf r =
       Format.fprintf ppf "    top cost centers:%s@."
         (String.concat ""
            (List.map (fun (p, cy) -> Printf.sprintf " %s=%dcy" p cy) spots))
+
+(* Red when any per-seed invariant broke, or when supervision failed to
+   strictly beat its absence over the whole sweep — the soak's reason to
+   exist. *)
+let exit_code v =
+  if v.failures = [] && v.total_units_sup > v.total_units_unsup then 0 else 1
 
 let summary_line v =
   Printf.sprintf

@@ -89,6 +89,10 @@ val run_seed : seed:int -> seed_report
 val run_seeds :
   ?progress:(seed_report -> unit) -> seeds:int list -> unit -> verdict
 
+val exit_code : verdict -> int
+(** Process exit status for the CLI: 0 iff no invariant failed {e and}
+    supervision strictly beat its absence on total useful work. *)
+
 val pp_seed_report : Format.formatter -> seed_report -> unit
 
 val summary_line : verdict -> string

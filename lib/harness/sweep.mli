@@ -1,0 +1,42 @@
+(** Shared seed-sweep scaffolding for the antagonist harnesses.
+
+    Chaos, soak, migrate and fleet all follow the same shape: derive a
+    fault plan per seed, run a canary-carrying workload under it on a
+    seed-salted VMM, scan every OS-visible surface for the canary, re-run
+    the same seed and compare audit logs (tolerating a truncated bounded
+    ring), then aggregate per-seed failures. The mechanics live here once;
+    each harness keeps only its workload, plan generator and invariants. *)
+
+val contains_pattern : string -> bytes -> bool
+(** Substring scan — the canary detector shared by every privacy check. *)
+
+val scan_leaks : pattern:string -> Cloak.Vmm.t -> Guest.Kernel.t -> string list
+(** Every OS-visible surface (allocated machine pages, RAM remanence, disk
+    and swap blocks) holding [pattern], as human-readable locations. *)
+
+val seeds_from : base:int -> count:int -> int list
+(** [base, base+7919, ...] — prime-spaced so sweep indices cannot alias
+    the plan generators' xor salts. *)
+
+val vconfig : salt:int -> seed:int -> Cloak.Vmm.config
+(** The per-seed VMM config every harness derives: default config with
+    [seed = salt lxor (seed * 0x2545F491)]. Stacks sharing a salt and seed
+    share the fleet master secret (what migration and fleet need); distinct
+    salts keep harnesses' key material independent. *)
+
+val determinism_failure :
+  audit_a:string list -> audit_b:string list -> dropped:int -> string option
+(** The replay-determinism verdict over two same-seed audit logs: [None]
+    when bit-identical; a truncation notice when the bounded audit ring
+    dropped entries (the windows may legitimately differ); otherwise the
+    nondeterminism failure. *)
+
+val map_seeds :
+  ?progress:('r -> unit) -> run:(seed:int -> 'r) -> int list -> 'r list
+(** The seed loop: run each seed, reporting progress as results land. *)
+
+val collect_failures :
+  seed_of:('r -> int) -> failures_of:('r -> string list) -> 'r list ->
+  (int * string) list
+(** Flatten per-seed failure lists into the [(seed, what)] pairs every
+    harness verdict carries. *)

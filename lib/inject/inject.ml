@@ -20,12 +20,15 @@ type site =
   | Mig_send
   | Mig_recv
   | Mig_ack
+  | Hb_send
+  | Host_power
 
 let all_sites =
   [
     Phys_alloc; Phys_write; Phys_free; Blk_alloc; Blk_read; Blk_write; Blk_free;
     Tlb_insert; Tlb_flush; Crypto_iv; Meta_export; Meta_import; Jrnl_append;
-    Jrnl_ckpt; Seal_write; Restore; Mig_send; Mig_recv; Mig_ack;
+    Jrnl_ckpt; Seal_write; Restore; Mig_send; Mig_recv; Mig_ack; Hb_send;
+    Host_power;
   ]
 
 let site_to_string = function
@@ -48,6 +51,8 @@ let site_to_string = function
   | Mig_send -> "mig-send"
   | Mig_recv -> "mig-recv"
   | Mig_ack -> "mig-ack"
+  | Hb_send -> "hb-send"
+  | Host_power -> "host-power"
 
 let site_of_string s =
   List.find_opt (fun site -> site_to_string site = s) all_sites
@@ -199,7 +204,9 @@ let menu =
        Sealed-checkpoint tampering is exercised by explicit plans in the
        seal tests and the attack suite. The Mig_* channel sites are absent
        for the same reason: only the migration harness opens a channel,
-       and it builds its own hostile plans (see Harness.Migrate). *)
+       and it builds its own hostile plans (see Harness.Migrate). Likewise
+       Hb_send/Host_power: only the fleet harness probes them, from its
+       own plan generator (see Harness.Fleet). *)
   ]
 
 let random_plan ~seed =

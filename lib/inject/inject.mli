@@ -39,6 +39,8 @@ type site =
   | Mig_send     (** migration frame handed to the untrusted channel *)
   | Mig_recv     (** migration frame delivered to the destination VMM *)
   | Mig_ack      (** acknowledgement handed back over the channel *)
+  | Hb_send      (** fleet heartbeat handed to the untrusted network *)
+  | Host_power   (** a whole fleet host's power feed (Crash_point kills it) *)
 
 val all_sites : site list
 val site_to_string : site -> string

@@ -31,6 +31,9 @@ type t = {
   mutable mig_retries : int;
   mutable mig_chunk_mac_failures : int;
   mutable mig_downtime_cycles : int;
+  mutable fleet_failovers : int;
+  mutable fleet_sheds : int;
+  mutable fleet_hb_timeouts : int;
 }
 
 let create () =
@@ -67,6 +70,9 @@ let create () =
     mig_retries = 0;
     mig_chunk_mac_failures = 0;
     mig_downtime_cycles = 0;
+    fleet_failovers = 0;
+    fleet_sheds = 0;
+    fleet_hb_timeouts = 0;
   }
 
 (* The single field table every derived operation goes through. A new
@@ -112,6 +118,13 @@ let fields : (string * (t -> int) * (t -> int -> unit)) list =
     ( "mig_downtime_cycles",
       (fun t -> t.mig_downtime_cycles),
       fun t v -> t.mig_downtime_cycles <- v );
+    ( "fleet_failovers",
+      (fun t -> t.fleet_failovers),
+      fun t v -> t.fleet_failovers <- v );
+    ("fleet_sheds", (fun t -> t.fleet_sheds), fun t v -> t.fleet_sheds <- v);
+    ( "fleet_hb_timeouts",
+      (fun t -> t.fleet_hb_timeouts),
+      fun t v -> t.fleet_hb_timeouts <- v );
   ]
 
 let reset t = List.iter (fun (_, _, set) -> set t 0) fields

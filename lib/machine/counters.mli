@@ -34,6 +34,9 @@ type t = {
   mutable mig_retries : int;
   mutable mig_chunk_mac_failures : int;
   mutable mig_downtime_cycles : int;
+  mutable fleet_failovers : int;
+  mutable fleet_sheds : int;
+  mutable fleet_hb_timeouts : int;
 }
 
 val create : unit -> t

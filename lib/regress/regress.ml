@@ -114,12 +114,32 @@ let suite ?cost_model () =
         value = r.Harness.Migrate.downtime_cycles };
     ]
   in
+  (* one deterministic fleet seed pins the supervisor's event counts
+     (death/drain/failover/shed/heartbeat-timeout behaviour must not
+     drift silently) *)
+  let fleet =
+    let r = Harness.Fleet.run_seed ~seed:7 in
+    if r.Harness.Fleet.failures <> [] then
+      failwith
+        ("regress: fleet invariants broken: "
+        ^ String.concat "; " r.Harness.Fleet.failures);
+    [
+      { name = "fleet/deaths"; kind = Counter; value = r.Harness.Fleet.deaths };
+      { name = "fleet/drains"; kind = Counter; value = r.Harness.Fleet.drains };
+      { name = "fleet/failovers"; kind = Counter; value = r.Harness.Fleet.failovers };
+      { name = "fleet/lost-processes"; kind = Counter;
+        value = r.Harness.Fleet.lost_procs };
+      { name = "fleet/heartbeat-timeouts"; kind = Counter;
+        value = r.Harness.Fleet.hb_timeouts };
+      { name = "fleet/sheds"; kind = Counter; value = r.Harness.Fleet.sheds };
+    ]
+  in
   e1 @ e2
   @ [
       { name = "fileio/native/cycles"; kind = Cycles; value = native.Harness.cycles };
       { name = "fileio/cloaked/cycles"; kind = Cycles; value = cloaked.Harness.cycles };
     ]
-  @ counters @ migrate
+  @ counters @ migrate @ fleet
 
 (* --- comparison --- *)
 
