@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test chaos-smoke recovery soak migrate fleet trace profile regress ci clean
+.PHONY: all build test chaos-smoke recovery soak migrate fleet adversary trace profile regress ci clean
 
 all: build
 
@@ -51,6 +51,16 @@ migrate: build
 fleet: build
 	$(DUNE) exec bin/overshadow_cli.exe -- fleet --seeds 20 --bench-out BENCH_fleet.json
 
+# Adversarial-OS sweep: every workload under the malicious-kernel
+# personality — lying syscall returns (Iago), address-space remap/replay,
+# identity confusion and scheduling attacks — one class per cell, each
+# cell run twice against a fault-free baseline; asserts zero plaintext
+# leaks, zero silent corruptions (fault-free digest or a typed refusal)
+# and a deterministic audit, and emits the attack/refusal tallies as
+# BENCH_adversary.json.
+adversary: build
+	$(DUNE) exec bin/overshadow_cli.exe -- adversary --seeds 20 --bench-out BENCH_adversary.json
+
 # Flight-recorder overhead proof: run cloaked workloads under the null
 # sink and under a live ring and assert both add zero model cycles over
 # an untraced baseline; emits BENCH_trace_overhead.json. Also prints the
@@ -74,7 +84,7 @@ regress: build
 regress-update: build
 	$(DUNE) exec bin/overshadow_cli.exe -- regress --update-baselines
 
-ci: test chaos-smoke recovery soak migrate fleet trace regress profile
+ci: test chaos-smoke recovery soak migrate fleet adversary trace regress profile
 
 clean:
 	$(DUNE) clean

@@ -10,6 +10,7 @@
      overshadow-cli soak --seeds 20           supervised availability soak
      overshadow-cli migrate --seeds 20        live migration over a hostile channel
      overshadow-cli fleet --seeds 20          fleet supervisor under hostile open-loop load
+     overshadow-cli adversary --seeds 20      every workload under a malicious kernel
      overshadow-cli trace fileio --cloaked    flight-recorder latency decomposition
      overshadow-cli trace-overhead            prove the recorder costs zero model cycles
      overshadow-cli profile fileio --cloaked  exact cycle attribution + flamegraph export
@@ -778,6 +779,70 @@ let fleet_cmd =
           audit determinism.")
     Term.(const run_fleet $ seeds_arg $ base_arg $ verbose_arg $ bench_out_arg)
 
+let run_adversary seeds base verbose bench_out =
+  let progress (r : Harness.Adversary.seed_report) =
+    if verbose || r.Harness.Adversary.failures <> [] then
+      Format.printf "%a@?" Harness.Adversary.pp_seed_report r
+  in
+  let t0 = Sys.time () in
+  let v =
+    Harness.Adversary.run_seeds ~progress
+      ~seeds:(Harness.Adversary.seeds_from ~base ~count:seeds)
+      ()
+  in
+  let wall_s = Sys.time () -. t0 in
+  Printf.printf "%s\n" (Harness.Adversary.summary_line v);
+  (match bench_out with
+  | None -> ()
+  | Some path ->
+      Report.write ~path
+        (Report.bench ~name:"adversary"
+           [ ("seeds", Report.Int v.Harness.Adversary.seeds_run);
+             ("classes", Report.Int (List.length Attacks.Adversary.classes));
+             ("attacks", Report.Int v.Harness.Adversary.total_attacks);
+             ("lies_detected", Report.Int v.Harness.Adversary.total_lies_detected);
+             ("refusals", Report.Int v.Harness.Adversary.total_refusals);
+             ("survived", Report.Int v.Harness.Adversary.total_survived);
+             ("refused", Report.Int v.Harness.Adversary.total_refused);
+             ("degraded", Report.Int v.Harness.Adversary.total_degraded);
+             ("killed", Report.Int v.Harness.Adversary.total_killed);
+             ("wall_s", Report.Float wall_s);
+             ("failures", Report.Int (List.length v.Harness.Adversary.failures)) ]);
+      Printf.printf "  wrote %s\n" path);
+  (match v.Harness.Adversary.failures with
+  | [] ->
+      Printf.printf
+        "all invariants held: zero plaintext leaks, zero silent corruptions \
+         (fault-free digest or typed refusal), deterministic audit\n"
+  | fails ->
+      List.iter (fun (seed, what) -> Printf.printf "FAILED seed %d: %s\n" seed what) fails);
+  Harness.Adversary.exit_code v
+
+let adversary_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N" ~doc:"Number of workload seeds.")
+  in
+  let base_arg =
+    Arg.(value & opt int 1 & info [ "base" ] ~docv:"SEED" ~doc:"First seed of the sweep.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print every seed's report, not just failures.")
+  in
+  let bench_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE" ~doc:"Write a JSON benchmark summary to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "adversary"
+       ~doc:
+         "Run every workload under the malicious-kernel personality: lying syscall \
+          returns, address-space remap/replay, identity confusion and scheduling \
+          attacks, per class per seed, checking zero plaintext leaks, zero silent \
+          corruptions (fault-free digest or typed refusal) and audit determinism.")
+    Term.(const run_adversary $ seeds_arg $ base_arg $ verbose_arg $ bench_out_arg)
+
 let trace_cmd =
   let workload_arg =
     Arg.(
@@ -911,6 +976,7 @@ let usage_listing =
     ("soak", "supervised availability soak under sustained lethal fault plans");
     ("migrate", "live-migrate a cloaked process over a hostile, lossy channel");
     ("fleet", "fleet supervisor: failover + graceful degradation under open-loop load");
+    ("adversary", "every workload under a malicious kernel: Iago lies, remap/replay, identity");
     ("trace", "flight-recorder latency decomposition for one workload");
     ("trace-overhead", "prove the recorder adds zero model cycles");
     ("profile", "exact cycle-attribution tree + flamegraph export (--diff-native)");
@@ -936,5 +1002,6 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default:Term.(const run_usage $ const ()) info
           [ kernel_cmd; attack_cmd; counters_cmd; chaos_cmd; recover_cmd; crash_matrix_cmd;
-            soak_cmd; migrate_cmd; fleet_cmd; trace_cmd; trace_overhead_cmd; profile_cmd;
+            soak_cmd; migrate_cmd; fleet_cmd; adversary_cmd; trace_cmd; trace_overhead_cmd;
+            profile_cmd;
             regress_cmd; list_cmd ]))

@@ -457,3 +457,5 @@ let run_all () = List.map (fun (_, f) -> f ()) catalog
 let pp_outcome ppf o =
   Format.fprintf ppf "%-22s leaked=%-5b detected=%-5b %s" o.name o.leaked o.detected
     (match o.violation with Some v -> "[" ^ v ^ "]" | None -> "")
+
+module Adversary = Adversary

@@ -23,3 +23,7 @@ val run : string -> outcome
 val run_all : unit -> outcome list
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+module Adversary = Adversary
+(** The seeded malicious-kernel personality (whole-OS hostility, vs. the
+    one-shot scripted attacks above). *)

@@ -56,6 +56,14 @@ type t = {
   engine : Inject.t option;            (* hostile-world fault injection *)
   audit : Inject.Audit.t;              (* per-VMM event/violation trail *)
   quarantined : (Resource.t, Violation.kind) Hashtbl.t;
+  (* last *superseded* {version, iv, mac} per page: lets the decrypt path
+     tell a replayed stale ciphertext apart from plain corruption *)
+  retired : (string * int, int * bytes * bytes) Hashtbl.t;
+  (* observer of shadow fills (asid, vpn, ppn, mpn, cloaked): the
+     adversarial-OS personality uses it to learn where cloaked pages land *)
+  mutable map_observer :
+    (asid:int -> vpn:Addr.vpn -> ppn:Addr.ppn -> mpn:Addr.mpn -> cloaked:bool -> unit)
+    option;
 }
 
 let create ?(config = default_config) ?engine ?(trace = Trace.null) () =
@@ -95,7 +103,11 @@ let create ?(config = default_config) ?engine ?(trace = Trace.null) () =
       | Some e -> Inject.audit e
       | None -> Inject.Audit.create ());
     quarantined = Hashtbl.create 4;
+    retired = Hashtbl.create 64;
+    map_observer = None;
   }
+
+let set_map_observer t obs = t.map_observer <- obs
 
 let config t = t.cfg
 let cost t = t.cost
@@ -455,6 +467,12 @@ and encrypt_page_body ~reuse t resource idx (e : Metadata.entry) mpn =
     let version = e.version + 1 in
     let cipher = Oscrypto.Aes.ctr_transform t.page_key ~iv plain in
     Phys_mem.load_page t.mem mpn cipher;
+    (* the triple being superseded still authenticates its old ciphertext;
+       remember it so a later replay of that ciphertext is named as such *)
+    if e.version > 0 then
+      Hashtbl.replace t.retired
+        (Resource.tag resource, idx)
+        (e.version, Bytes.copy e.iv, Bytes.copy e.mac);
     e.iv <- iv;
     e.version <- version;
     e.mac <-
@@ -502,10 +520,26 @@ and decrypt_page_body t resource idx (e : Metadata.entry) mpn =
   let input =
     Metadata.mac_input ~resource ~idx ~version:e.version ~iv:e.iv ~cipher
   in
-  if not (Oscrypto.Hmac.verify ~key:t.mac_key ~tag:e.mac input) then
-    violate t ~resource Integrity
-      "page %d of %s fails authentication at version %d (tampered or rolled back)"
-      idx (Resource.tag resource) e.version;
+  if not (Oscrypto.Hmac.verify ~key:t.mac_key ~tag:e.mac input) then begin
+    (* distinguish a replayed stale ciphertext (authenticates under the
+       *retired* triple) from plain corruption: both are refused, but the
+       audit trail names the attack *)
+    let replayed =
+      match Hashtbl.find_opt t.retired (Resource.tag resource, idx) with
+      | Some (rv, riv, rmac) ->
+          Oscrypto.Hmac.verify ~key:t.mac_key ~tag:rmac
+            (Metadata.mac_input ~resource ~idx ~version:rv ~iv:riv ~cipher)
+      | None -> false
+    in
+    if replayed then
+      violate t ~resource Integrity
+        "page %d of %s is a replayed stale ciphertext (current version %d)"
+        idx (Resource.tag resource) e.version
+    else
+      violate t ~resource Integrity
+        "page %d of %s fails authentication at version %d (tampered or rolled back)"
+        idx (Resource.tag resource) e.version
+  end;
   Trace.emit t.trace ~ctx:Trace.Vmm ~page:idx ~pid:mpn ~site:(rtag t resource)
     ~aux:e.version Trace.Mac_check;
   let plain = Oscrypto.Aes.ctr_transform t.page_key ~iv:e.iv cipher in
@@ -594,20 +628,27 @@ and fill_body t (ctx : Context.t) access vpn table sid =
       pte.accessed <- true;
       if access = Fault.Write then pte.dirty <- true;
       let mpn = back_ppn t pte.ppn in
+      let cloaked_fill = ref false in
       let writable_cap =
         match resource_at t ~asid:ctx.asid ~vpn with
         | Some (resource, idx) ->
+            cloaked_fill := true;
             Hashtbl.replace t.bound pte.ppn (resource, idx);
             let cap = cloak_prepare t ~view:ctx.view ~access ~resource ~idx ~mpn in
             (* the shadow entry built below hands this context plaintext;
-               the invariant pass asserts only owners ever get one *)
+               the invariant pass asserts only owners ever get one, and that
+               the frame (aux = mpn+1) holds no other page's plaintext *)
             if ctx.view = Context.App && Trace.enabled t.trace then
               Trace.emit t.trace ~ctx:(Trace.Cloaked ctx.asid) ~page:idx
                 ~pid:(match resource with Resource.Anon a -> a | Shm _ -> -1)
-                ~site:(rtag t resource) Trace.Plaintext_access;
+                ~site:(rtag t resource) ~aux:(mpn + 1) Trace.Plaintext_access;
             cap
         | None -> true
       in
+      (match t.map_observer with
+      | Some obs ->
+          obs ~asid:ctx.asid ~vpn ~ppn:pte.ppn ~mpn ~cloaked:!cloaked_fill
+      | None -> ());
       let spte = { mpn; writable = pte.writable && writable_cap } in
       Hashtbl.replace table vpn spte;
       Tlb.insert t.tlb { shadow = sid; vpn; mpn; writable = spte.writable };

@@ -62,6 +62,17 @@ val trace : t -> Trace.t
 (** The flight recorder this VMM (and everything attached to it — journal,
     seals, block devices, physical memory) emits into. *)
 
+val set_map_observer :
+  t ->
+  (asid:int -> vpn:Addr.vpn -> ppn:Addr.ppn -> mpn:Addr.mpn -> cloaked:bool -> unit)
+  option ->
+  unit
+(** Observe every shadow fill (the VMM's page-mapping callback): which
+    address space mapped which virtual page onto which guest-physical and
+    machine frame, and whether the page is cloaked. The adversarial-OS
+    personality uses this to learn where cloaked pages land so it can
+    attempt remap/alias/replay attacks; [None] uninstalls. *)
+
 (** {1 Address spaces} *)
 
 val register_address_space : t -> Page_table.t -> unit

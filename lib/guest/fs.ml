@@ -210,8 +210,10 @@ let size t id = (inode t id).size
 (* --- page cache --- *)
 
 (* Transient device errors get the shared bounded retry-with-backoff
-   policy; only a persistent failure surfaces as EIO. *)
-let with_disk_retry t f = Retry.disk t.vmm f
+   policy, under the shared cycle deadline so a device that fails forever
+   degrades to EIO in bounded time instead of stalling the caller. *)
+let with_disk_retry t f =
+  Retry.disk ~deadline_cycles:(Retry.io_deadline_cycles t.vmm) t.vmm f
 
 let cache_page t ino idx =
   match Hashtbl.find_opt t.cache (ino.id, idx) with

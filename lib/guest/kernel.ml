@@ -160,8 +160,10 @@ let proc_count t = Hashtbl.length t.procs
 (* --- guest physical page pool with swap-backed eviction --- *)
 
 (* Transient swap-device errors get the same bounded retry-with-backoff as
-   the filesystem's page cache; only a persistent failure surfaces as EIO. *)
-let swap_retry t f = Retry.disk t.vmm f
+   the filesystem's page cache, under the shared cycle deadline so even a
+   swap device that fails forever degrades to EIO in bounded time. *)
+let swap_retry t f =
+  Retry.disk ~deadline_cycles:(Retry.io_deadline_cycles t.vmm) t.vmm f
 
 let release_guest_page t ppn =
   Cloak.Vmm.release_ppn t.vmm ppn;

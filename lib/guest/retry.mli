@@ -41,6 +41,14 @@ val with_backoff :
 val io_retry_limit : int
 (** Retries granted to transient device errors before EIO (3). *)
 
+val io_deadline_cycles : Cloak.Vmm.t -> int
+(** The default cumulative-backoff ceiling for guest device retries
+    (16 × the cost model's [disk_op]). Strictly above the 15 × [disk_op] a
+    full {!io_retry_limit} exhaustion charges, so passing it to {!disk}
+    never changes fault-free behaviour — it exists so a hostile kernel
+    returning eternal [EIO] yields a typed, bounded degradation rather
+    than an unbounded stall of the cloaked process. *)
+
 val disk :
   ?deadline_cycles:int -> ?jitter:Oscrypto.Prng.t -> Cloak.Vmm.t ->
   (unit -> 'a) -> 'a

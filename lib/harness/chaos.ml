@@ -224,7 +224,7 @@ let run_seeds ?(progress = fun _ -> ()) ~seeds () =
   }
 
 let seeds_from = Sweep.seeds_from
-let exit_code v = if v.failures = [] then 0 else 1
+let exit_code v = Sweep.exit_code v.failures
 
 let pp_report ppf r =
   Format.fprintf ppf "seed %d: %d injections, %d contained, %s@." r.seed

@@ -928,7 +928,7 @@ let run_seeds ?progress ~seeds () =
         reports;
   }
 
-let exit_code v = if v.failures = [] then 0 else 1
+let exit_code v = Sweep.exit_code v.failures
 
 let seeds_from = Sweep.seeds_from
 

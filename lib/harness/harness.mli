@@ -33,6 +33,11 @@ module Fleet = Fleet
     detection, migration-based failover, graceful degradation (see
     {!Fleet.run_seeds}). *)
 
+module Adversary = Adversary
+(** Re-export: the adversarial-OS sweep (every workload under the
+    malicious-kernel personality, per attack class; see
+    {!Adversary.run_seeds}). *)
+
 type result = {
   cycles : int;                 (** model cycles consumed by the scenario *)
   counters : Machine.Counters.t;(** event deltas over the scenario *)

@@ -727,8 +727,7 @@ let run_crash_matrix ?per_site ~seeds () =
     matrix_failures = List.rev !fails;
   }
 
-let exit_code v c =
-  if v.failures = [] && c.matrix_failures = [] then 0 else 1
+let exit_code v c = Sweep.exit_code ~red:(c.matrix_failures <> []) v.failures
 
 (* --- presentation --- *)
 

@@ -432,7 +432,7 @@ let pp_seed_report ppf r =
    strictly beat its absence over the whole sweep — the soak's reason to
    exist. *)
 let exit_code v =
-  if v.failures = [] && v.total_units_sup > v.total_units_unsup then 0 else 1
+  Sweep.exit_code ~red:(v.total_units_sup <= v.total_units_unsup) v.failures
 
 let summary_line v =
   Printf.sprintf

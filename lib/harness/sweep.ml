@@ -59,3 +59,7 @@ let collect_failures ~seed_of ~failures_of reports =
   List.concat_map
     (fun r -> List.map (fun f -> (seed_of r, f)) (failures_of r))
     reports
+
+(* The one process-exit policy every harness CLI shares: red on any
+   collected failure, or on any harness-specific extra condition. *)
+let exit_code ?(red = false) failures = if failures = [] && not red then 0 else 1

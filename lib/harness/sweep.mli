@@ -40,3 +40,9 @@ val collect_failures :
   (int * string) list
 (** Flatten per-seed failure lists into the [(seed, what)] pairs every
     harness verdict carries. *)
+
+val exit_code : ?red:bool -> (int * string) list -> int
+(** The shared process-exit policy behind every harness's [exit_code]:
+    [0] iff the collected failures are empty and no harness-specific
+    [red] condition (e.g. soak's supervised-beats-unsupervised bar,
+    migrate's crash-matrix failures) holds; [1] otherwise. *)

@@ -34,6 +34,14 @@ type t = {
   mutable fleet_failovers : int;
   mutable fleet_sheds : int;
   mutable fleet_hb_timeouts : int;
+  mutable adv_attacks : int;
+  mutable adv_lies : int;
+  mutable adv_remaps : int;
+  mutable adv_replays : int;
+  mutable adv_identity : int;
+  mutable adv_sched : int;
+  mutable hostile_lies_detected : int;
+  mutable hostile_refusals : int;
 }
 
 let create () =
@@ -73,6 +81,14 @@ let create () =
     fleet_failovers = 0;
     fleet_sheds = 0;
     fleet_hb_timeouts = 0;
+    adv_attacks = 0;
+    adv_lies = 0;
+    adv_remaps = 0;
+    adv_replays = 0;
+    adv_identity = 0;
+    adv_sched = 0;
+    hostile_lies_detected = 0;
+    hostile_refusals = 0;
   }
 
 (* The single field table every derived operation goes through. A new
@@ -125,6 +141,18 @@ let fields : (string * (t -> int) * (t -> int -> unit)) list =
     ( "fleet_hb_timeouts",
       (fun t -> t.fleet_hb_timeouts),
       fun t v -> t.fleet_hb_timeouts <- v );
+    ("adv_attacks", (fun t -> t.adv_attacks), fun t v -> t.adv_attacks <- v);
+    ("adv_lies", (fun t -> t.adv_lies), fun t v -> t.adv_lies <- v);
+    ("adv_remaps", (fun t -> t.adv_remaps), fun t v -> t.adv_remaps <- v);
+    ("adv_replays", (fun t -> t.adv_replays), fun t v -> t.adv_replays <- v);
+    ("adv_identity", (fun t -> t.adv_identity), fun t v -> t.adv_identity <- v);
+    ("adv_sched", (fun t -> t.adv_sched), fun t v -> t.adv_sched <- v);
+    ( "hostile_lies_detected",
+      (fun t -> t.hostile_lies_detected),
+      fun t v -> t.hostile_lies_detected <- v );
+    ( "hostile_refusals",
+      (fun t -> t.hostile_refusals),
+      fun t v -> t.hostile_refusals <- v );
   ]
 
 let reset t = List.iter (fun (_, _, set) -> set t 0) fields

@@ -37,6 +37,14 @@ type t = {
   mutable fleet_failovers : int;
   mutable fleet_sheds : int;
   mutable fleet_hb_timeouts : int;
+  mutable adv_attacks : int;
+  mutable adv_lies : int;
+  mutable adv_remaps : int;
+  mutable adv_replays : int;
+  mutable adv_identity : int;
+  mutable adv_sched : int;
+  mutable hostile_lies_detected : int;
+  mutable hostile_refusals : int;
 }
 
 val create : unit -> t

@@ -134,12 +134,34 @@ let suite ?cost_model () =
       { name = "fleet/sheds"; kind = Counter; value = r.Harness.Fleet.sheds };
     ]
   in
+  (* one deterministic adversary seed pins the malicious-kernel campaign
+     and the defense's response to it (attack mix, lies detected, typed
+     refusals) — a drift here means the adversary or the paraverification
+     layer changed behaviour *)
+  let adversary =
+    let r = Harness.Adversary.run_seed ~seed:7 in
+    if r.Harness.Adversary.failures <> [] then
+      failwith
+        ("regress: adversary invariants broken: "
+        ^ String.concat "; " r.Harness.Adversary.failures);
+    [
+      { name = "adversary/attacks"; kind = Counter; value = r.Harness.Adversary.attacks };
+      { name = "adversary/lies-detected"; kind = Counter;
+        value = r.Harness.Adversary.lies_detected };
+      { name = "adversary/refusals"; kind = Counter;
+        value = r.Harness.Adversary.refusals };
+      { name = "adversary/survived"; kind = Counter; value = r.Harness.Adversary.survived };
+      { name = "adversary/refused"; kind = Counter; value = r.Harness.Adversary.refused };
+      { name = "adversary/degraded"; kind = Counter; value = r.Harness.Adversary.degraded };
+      { name = "adversary/killed"; kind = Counter; value = r.Harness.Adversary.killed };
+    ]
+  in
   e1 @ e2
   @ [
       { name = "fileio/native/cycles"; kind = Cycles; value = native.Harness.cycles };
       { name = "fileio/cloaked/cycles"; kind = Cycles; value = cloaked.Harness.cycles };
     ]
-  @ counters @ migrate @ fleet
+  @ counters @ migrate @ fleet @ adversary
 
 (* --- comparison --- *)
 

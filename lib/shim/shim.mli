@@ -9,7 +9,22 @@
     application's plaintext view.
 
     [install] maps the marshal buffer and replaces [env.dispatch], so the
-    interposition is transparent to the program. *)
+    interposition is transparent to the program.
+
+    The kernel under the shim is untrusted: every syscall result is
+    paraverified against the shim's own marshaled request (bounds, shape,
+    region backing) before any byte moves into cloaked memory. A detected
+    lie is audited, counted ([hostile_lies_detected]) and retried
+    {!paraverify_retries} times; a kernel that keeps lying gets a typed
+    {!Hostile_os} refusal ([hostile_refusals]) the application can turn
+    into bounded degradation instead of silent corruption. *)
+
+exception Hostile_os of { call : string; reason : string }
+(** The kernel's result for [call] contradicts the shim's own request and
+    retries were exhausted: the syscall is refused rather than believed. *)
+
+val paraverify_retries : int
+(** Second chances a lying kernel gets before {!Hostile_os} (2). *)
 
 type t
 
@@ -34,3 +49,10 @@ val checkpoint : t -> int
 (** Quiesce-point hypercall: ask the supervisor to capture a sealed
     checkpoint now; returns the new seal generation. Raises
     [Guest.Errno.Error EINVAL] for unsupervised processes. *)
+
+val note_lie : t -> call:string -> string -> unit
+(** Audit and count a detected kernel lie (for shim-adjacent layers like
+    {!Shim_io} that paraverify their own direct syscalls). *)
+
+val refuse : t -> call:string -> string -> 'a
+(** Audit and count a refusal, then raise {!Hostile_os}. *)

@@ -23,9 +23,20 @@ let asid_of shim = (Uapi.env (Shim.uapi shim)).Abi.asid
    belong to the shm object, not to the process's anon resource. *)
 let map_object shim resource pages =
   let start_vpn =
-    match Shim.direct_dispatch shim (Abi.Mmap { pages; cloaked = false }) with
-    | Abi.Int vpn -> vpn
-    | _ -> invalid_arg "Shim_io: mmap failed"
+    let rec go attempt =
+      match Shim.direct_dispatch shim (Abi.Mmap { pages; cloaked = false }) with
+      | Abi.Int vpn when vpn > 0 -> vpn
+      | v ->
+          let reason =
+            Printf.sprintf "mmap of a %d-page object returned %s" pages
+              (match v with Abi.Int n -> "vpn " ^ string_of_int n | _ -> "a non-integer")
+          in
+          Shim.note_lie shim ~call:"mmap" reason;
+          if attempt >= Shim.paraverify_retries then
+            Shim.refuse shim ~call:"mmap" reason
+          else go (attempt + 1)
+    in
+    go 0
   in
   Cloak.Vmm.hypercall (vmm_of shim);
   Cloak.Vmm.cloak_range (vmm_of shim) ~asid:(asid_of shim) ~resource ~start_vpn ~pages
@@ -53,33 +64,56 @@ let write shim f ~pos data =
   Uapi.store (Shim.uapi shim) ~vaddr:(base_vaddr f + pos) data;
   f.size <- max f.size (pos + len)
 
+(* A progress claim is believed only within the bounds of what was asked:
+   0 < n <= remaining. A kernel claiming more (or negative) progress would
+   walk the cursor out of the region — an Iago lie, audited and (after
+   bounded retries) refused with [Shim.Hostile_os]. *)
+let checked_progress shim ~name ~remaining call =
+  let rec go attempt =
+    match Shim.direct_dispatch shim call with
+    | Abi.Int n when n >= 0 && n <= remaining -> Ok n
+    | Abi.Err e -> Error e
+    | v ->
+        let reason =
+          Printf.sprintf
+            "kernel claimed %s progress for a %d-byte %s request"
+            (match v with Abi.Int n -> string_of_int n ^ "-byte" | _ -> "non-integer")
+            remaining name
+        in
+        Shim.note_lie shim ~call:name reason;
+        if attempt >= Shim.paraverify_retries then Shim.refuse shim ~call:name reason
+        else go (attempt + 1)
+  in
+  go 0
+
 (* Write [len] bytes starting at [vaddr] to [fd] with the *direct*
    dispatcher: the kernel copies straight from the region, which for a
    sealed object is ciphertext. *)
 let direct_write_all shim ~fd ~vaddr ~len =
   let written = ref 0 in
   while !written < len do
+    let remaining = len - !written in
     match
-      Shim.direct_dispatch shim
-        (Abi.Write { fd; vaddr = vaddr + !written; len = len - !written })
+      checked_progress shim ~name:"write" ~remaining
+        (Abi.Write { fd; vaddr = vaddr + !written; len = remaining })
     with
-    | Abi.Int n when n > 0 -> written := !written + n
-    | Abi.Int _ -> invalid_arg "Shim_io: short write"
-    | Abi.Err e -> raise (Errno.Error e)
-    | _ -> invalid_arg "Shim_io: unexpected write result"
+    | Ok n when n > 0 -> written := !written + n
+    | Ok _ -> invalid_arg "Shim_io: short write"
+    | Error e -> raise (Errno.Error e)
   done
 
 let direct_read_all shim ~fd ~vaddr ~len =
   let got = ref 0 in
   let eof = ref false in
   while !got < len && not !eof do
+    let remaining = len - !got in
     match
-      Shim.direct_dispatch shim (Abi.Read { fd; vaddr = vaddr + !got; len = len - !got })
+      checked_progress shim ~name:"read" ~remaining
+        (Abi.Read { fd; vaddr = vaddr + !got; len = remaining })
     with
-    | Abi.Int 0 -> eof := true
-    | Abi.Int n -> got := !got + n
-    | Abi.Err e -> raise (Errno.Error e)
-    | _ -> invalid_arg "Shim_io: unexpected read result"
+    | Ok 0 -> eof := true
+    | Ok n -> got := !got + n
+    | Error e -> raise (Errno.Error e)
   done;
   !got
 

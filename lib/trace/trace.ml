@@ -452,6 +452,19 @@ module Check = struct
     let plaintext = Hashtbl.create 64 in
     (* rule 3: highest bumped generation per resource tag *)
     let bumped = Hashtbl.create 8 in
+    (* rule 5 (no-stale-version-mapped): highest version ever sealed into
+       ciphertext per (site, page); a later decrypt below it means a
+       replayed stale page was mapped. Page_zero restarts a page's version
+       history (fresh page after teardown), Seal_restore and Quarantine
+       reset a whole resource (authorized rollback / teardown). *)
+    let highwater = Hashtbl.create 64 in
+    let reset_site site tbl =
+      let stale =
+        Hashtbl.fold (fun (s, p) _ acc -> if s = site then (s, p) :: acc else acc)
+          tbl []
+      in
+      List.iter (Hashtbl.remove tbl) stale
+    in
     List.iter
       (fun ev ->
         match (ev.kind, ev.phase) with
@@ -470,11 +483,24 @@ module Check = struct
             | None ->
                 fail "decrypt of %s page %d version %d without a prior MAC check"
                   ev.site ev.page ev.aux);
+            (match Hashtbl.find_opt highwater (ev.site, ev.page) with
+            | Some v when ev.aux < v ->
+                fail
+                  "stale version mapped: decrypt of %s page %d at version %d \
+                   after version %d was sealed (replay)"
+                  ev.site ev.page ev.aux v
+            | _ -> ());
             if ev.pid >= 0 then Hashtbl.replace plaintext ev.pid (ev.site, ev.page)
         | Page_zero, _ ->
+            Hashtbl.remove highwater (ev.site, ev.page);
             if ev.pid >= 0 then Hashtbl.replace plaintext ev.pid (ev.site, ev.page)
-        | Page_encrypt, Exit -> if ev.pid >= 0 then Hashtbl.remove plaintext ev.pid
+        | Page_encrypt, Exit ->
+            (match Hashtbl.find_opt highwater (ev.site, ev.page) with
+            | Some v when v >= ev.aux -> ()
+            | _ -> Hashtbl.replace highwater (ev.site, ev.page) ev.aux);
+            if ev.pid >= 0 then Hashtbl.remove plaintext ev.pid
         | Frame_scrub, _ -> if ev.pid >= 0 then Hashtbl.remove plaintext ev.pid
+        | Quarantine, _ -> reset_site ev.site highwater
         | Frame_free, _ -> (
             match Hashtbl.find_opt plaintext ev.pid with
             | Some (site, page) ->
@@ -490,6 +516,7 @@ module Check = struct
             in
             if ev.aux > cur then Hashtbl.replace bumped ev.site ev.aux
         | Seal_restore, Exit -> (
+            reset_site ev.site highwater;
             match Hashtbl.find_opt bumped ev.site with
             | Some g when g >= ev.aux -> ()
             | Some g ->
@@ -508,7 +535,20 @@ module Check = struct
                   fail
                     "plaintext access to %s page %d (owner %d) from non-owner \
                      context %s"
-                    ev.site ev.page ev.pid (ctx_name c))
+                    ev.site ev.page ev.pid (ctx_name c));
+            (* rule 6 (no-cross-asid-alias): aux carries mpn+1 (0 = frame
+               unknown). The frame an access resolves to must hold the
+               plaintext of the very page being accessed; any other live
+               plaintext there means two cloaked mappings alias one frame. *)
+            if ev.aux > 0 then (
+              let mpn = ev.aux - 1 in
+              match Hashtbl.find_opt plaintext mpn with
+              | Some (site, page) when site <> ev.site || page <> ev.page ->
+                  fail
+                    "cross-asid alias: access to %s page %d resolves to frame \
+                     %d still holding plaintext of %s page %d"
+                    ev.site ev.page mpn site page
+              | _ -> ())
         | _ -> ())
       evs;
     List.rev !failures

@@ -218,7 +218,14 @@ module Check : sig
         scrub (or re-encryption) of that frame;
       - every seal restore follows a generation bump to at least the
         restored generation;
-      - no plaintext-access event occurs outside the owner's context.
+      - no plaintext-access event occurs outside the owner's context;
+      - no-stale-version-mapped: no decrypt maps a page version older
+        than the highest version sealed for that page (anti-replay),
+        modulo authorized resets (fresh page zero, seal restore,
+        quarantine teardown);
+      - no-cross-asid-alias: a plaintext access whose resolved frame
+        (aux = mpn+1) still holds live plaintext of a {e different}
+        cloaked page means two cloaked mappings alias one frame.
 
       All rules are prefix-closed: a stream truncated by a crash never
       fails an invariant that the full stream would have satisfied. *)

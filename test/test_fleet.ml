@@ -217,10 +217,10 @@ let test_chaos_exit_code () =
        { v with Harness.Chaos.failures = [ (1, "boom") ] })
 
 let test_soak_exit_code () =
-  (* seed 150462's plan restarts the service under supervision and kills
+  (* seed 150465's plan restarts the service under supervision and kills
      the unsupervised baseline early, so the strict-win clause holds on a
      single seed *)
-  let v = Harness.Soak.run_seeds ~seeds:[ 150462 ] () in
+  let v = Harness.Soak.run_seeds ~seeds:[ 150465 ] () in
   Alcotest.(check int) "green soak verdict exits 0" 0
     (Harness.Soak.exit_code v);
   Alcotest.(check int) "any failure exits 1" 1

@@ -209,7 +209,7 @@ let test_counters_rows () =
   c.Counters.page_encryptions <- 9;
   let rows = Counters.rows c in
   Alcotest.(check (option int)) "row value" (Some 9) (List.assoc_opt "page_encryptions" rows);
-  Alcotest.(check int) "all fields present" 35 (List.length rows)
+  Alcotest.(check int) "all fields present" 43 (List.length rows)
 
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
