@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test chaos-smoke recovery soak migrate fleet adversary trace profile regress ci clean
+.PHONY: all build test chaos-smoke recovery soak migrate fleet telemetry adversary trace profile regress ci clean
 
 all: build
 
@@ -51,6 +51,15 @@ migrate: build
 fleet: build
 	$(DUNE) exec bin/overshadow_cli.exe -- fleet --seeds 20 --bench-out BENCH_fleet.json
 
+# Fleet telemetry proof: the same hostile fleet scenario with the
+# per-host registries disabled and enabled must charge identical model
+# cycles (trace ids ride the migration wire unconditionally), and the
+# enabled run must stitch every committed failover into one cross-host
+# causal trace and page the burn-rate monitor on host death while a
+# fault-free replay stays silent; emits BENCH_telemetry.json.
+telemetry: build
+	$(DUNE) exec bin/overshadow_cli.exe -- telemetry --bench-out BENCH_telemetry.json
+
 # Adversarial-OS sweep: every workload under the malicious-kernel
 # personality — lying syscall returns (Iago), address-space remap/replay,
 # identity confusion and scheduling attacks — one class per cell, each
@@ -84,7 +93,7 @@ regress: build
 regress-update: build
 	$(DUNE) exec bin/overshadow_cli.exe -- regress --update-baselines
 
-ci: test chaos-smoke recovery soak migrate fleet adversary trace regress profile
+ci: test chaos-smoke recovery soak migrate fleet telemetry adversary trace regress profile
 
 clean:
 	$(DUNE) clean

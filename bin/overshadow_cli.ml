@@ -314,6 +314,17 @@ let run_migrate seeds base crash_seeds verbose bench_out =
       List.iter (fun (point, what) -> Printf.printf "FAILED %s: %s\n" point what) cfails);
   Harness.Migrate.exit_code v c
 
+let timeline_json tl =
+  Report.List
+    (List.map
+       (fun (w, adm, good, p99) ->
+         Report.Obj
+           [ ("window", Report.Int w);
+             ("admitted", Report.Int adm);
+             ("good", Report.Int good);
+             ("p99_cycles", Report.Int p99) ])
+       tl)
+
 let run_fleet seeds base verbose bench_out =
   let progress (r : Harness.Fleet.seed_report) =
     if verbose || r.Harness.Fleet.failures <> [] then
@@ -351,6 +362,20 @@ let run_fleet seeds base verbose bench_out =
              ("latency_p99_cycles", Report.Int v.Harness.Fleet.p99_latency);
              ("failover_downtime_p50_cycles", Report.Int v.Harness.Fleet.p50_downtime);
              ("failover_downtime_p95_cycles", Report.Int v.Harness.Fleet.p95_downtime);
+             ("telemetry_samples", Report.Int v.Harness.Fleet.total_tel_samples);
+             ("telemetry_spans", Report.Int v.Harness.Fleet.total_tel_spans);
+             ("stitched_traces", Report.Int v.Harness.Fleet.total_stitched);
+             ("burn_alerts_fast", Report.Int v.Harness.Fleet.total_burn_fast);
+             ("burn_alerts_slow", Report.Int v.Harness.Fleet.total_burn_slow);
+             ( "timelines",
+               Report.List
+                 (List.map
+                    (fun (r : Harness.Fleet.seed_report) ->
+                      Report.Obj
+                        [ ("seed", Report.Int r.Harness.Fleet.seed);
+                          ("supervised", timeline_json r.Harness.Fleet.sup_timeline);
+                          ("unsupervised", timeline_json r.Harness.Fleet.unsup_timeline) ])
+                    v.Harness.Fleet.reports) );
              ("wall_s", Report.Float wall_s);
              ("failures", Report.Int (List.length v.Harness.Fleet.failures)) ]);
       Printf.printf "  wrote %s\n" path);
@@ -779,6 +804,82 @@ let fleet_cmd =
           audit determinism.")
     Term.(const run_fleet $ seeds_arg $ base_arg $ verbose_arg $ bench_out_arg)
 
+let run_telemetry seed chrome_out bench_out =
+  let t0 = Sys.time () in
+  let r = Harness.Observe.run ~seed () in
+  let wall_s = Sys.time () -. t0 in
+  Format.printf "%a@?" Harness.Observe.pp_report r;
+  (match chrome_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc r.Harness.Observe.o_chrome_json;
+      close_out oc;
+      Printf.printf "  wrote %s (one pid row per VMM host; load in chrome://tracing)\n"
+        path);
+  (match bench_out with
+  | None -> ()
+  | Some path ->
+      Report.write ~path
+        (Report.bench ~name:"telemetry"
+           [ ("seed", Report.Int r.Harness.Observe.o_seed);
+             ("cycles_registry_off", Report.Int r.Harness.Observe.o_cycles_off);
+             ("cycles_registry_on", Report.Int r.Harness.Observe.o_cycles_on);
+             ("delta_cycles", Report.Int (Harness.Observe.delta r));
+             ( "zero_model_cycle_overhead",
+               Report.Bool (Harness.Observe.zero_overhead r) );
+             ("samples", Report.Int r.Harness.Observe.o_samples);
+             ("spans", Report.Int r.Harness.Observe.o_spans);
+             ("failovers", Report.Int r.Harness.Observe.o_failovers);
+             ("stitched_traces", Report.Int r.Harness.Observe.o_stitched);
+             ("burn_alerts_fast", Report.Int r.Harness.Observe.o_fast_alerts);
+             ("burn_alerts_slow", Report.Int r.Harness.Observe.o_slow_alerts);
+             ("worst_burn", Report.Float r.Harness.Observe.o_worst_burn);
+             ("sup_timeline", timeline_json r.Harness.Observe.o_sup_timeline);
+             ("unsup_timeline", timeline_json r.Harness.Observe.o_unsup_timeline);
+             ("wall_s", Report.Float wall_s);
+             ("failures", Report.Int (List.length r.Harness.Observe.o_failures)) ]);
+      Printf.printf "  wrote %s\n" path);
+  (match r.Harness.Observe.o_failures with
+  | [] ->
+      Printf.printf
+        "telemetry plane held: zero model cycles with registries off, stitched \
+         cross-host traces and burn-rate paging with them on, silence fault-free\n"
+  | fails -> List.iter (fun f -> Printf.printf "FAILED: %s\n" f) fails);
+  Harness.Observe.exit_code r
+
+let telemetry_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Fleet scenario seed (default matches the regression sentinel's pin).")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-out" ] ~docv:"FILE"
+          ~doc:
+            "Export the enabled run's fleet-wide Chrome trace (one pid row per \
+             VMM host) to $(docv).")
+  in
+  let bench_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE" ~doc:"Write a JSON benchmark summary to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:
+         "Prove the fleet telemetry plane free when disabled and load-bearing when \
+          enabled: run one hostile fleet scenario with registries off then on, \
+          assert identical model cycles, stitched cross-host causal traces for \
+          every committed failover, burn-rate alerts on host death and silence \
+          fault-free.")
+    Term.(const run_telemetry $ seed_arg $ chrome_arg $ bench_out_arg)
+
 let run_adversary seeds base verbose bench_out =
   let progress (r : Harness.Adversary.seed_report) =
     if verbose || r.Harness.Adversary.failures <> [] then
@@ -976,6 +1077,7 @@ let usage_listing =
     ("soak", "supervised availability soak under sustained lethal fault plans");
     ("migrate", "live-migrate a cloaked process over a hostile, lossy channel");
     ("fleet", "fleet supervisor: failover + graceful degradation under open-loop load");
+    ("telemetry", "prove fleet telemetry free when off, stitched traces + burn alerts when on");
     ("adversary", "every workload under a malicious kernel: Iago lies, remap/replay, identity");
     ("trace", "flight-recorder latency decomposition for one workload");
     ("trace-overhead", "prove the recorder adds zero model cycles");
@@ -1002,6 +1104,7 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default:Term.(const run_usage $ const ()) info
           [ kernel_cmd; attack_cmd; counters_cmd; chaos_cmd; recover_cmd; crash_matrix_cmd;
-            soak_cmd; migrate_cmd; fleet_cmd; adversary_cmd; trace_cmd; trace_overhead_cmd;
+            soak_cmd; migrate_cmd; fleet_cmd; telemetry_cmd; adversary_cmd; trace_cmd;
+            trace_overhead_cmd;
             profile_cmd;
             regress_cmd; list_cmd ]))

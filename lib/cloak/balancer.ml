@@ -37,6 +37,8 @@ type t = {
   queue_bound : int;
   reduced_queue_bound : int;
   rejoin_backoff : int;
+  mutable load_feed : (int -> int) option;
+      (* telemetry gauge feed: host index -> current queue depth *)
 }
 
 let fresh_host () =
@@ -62,6 +64,7 @@ let create ~hosts ?(threshold = 2.0) ?(queue_bound = 6) ?(rejoin_backoff = 0)
     queue_bound;
     reduced_queue_bound = max 1 (queue_bound / 2);
     rejoin_backoff;
+    load_feed = None;
   }
 
 let n_hosts t = Array.length t.hosts
@@ -163,9 +166,8 @@ let tick t ~now =
 
 (* --- load accounting and routing --- *)
 
-let add_load t i = (host t i).load <- (host t i).load + 1
-let sub_load t i = (host t i).load <- max 0 ((host t i).load - 1)
 let set_load t i v = (host t i).load <- max 0 v
+let bind_load t feed = t.load_feed <- Some feed
 
 let routable h =
   match h.st with Healthy | Suspect | Rejoining -> true | Draining | Dead -> false
@@ -188,6 +190,13 @@ let bound_for t h =
    is attributable to the drain), [No_capacity] when nothing routes at
    all. *)
 let route t =
+  (* refresh occupancy from the bound telemetry feed before choosing;
+     only routable hosts are polled — a dead host's gauge is stale by
+     definition and its load is pinned to 0 by the state machine *)
+  (match t.load_feed with
+  | None -> ()
+  | Some feed ->
+      Array.iteri (fun i h -> if routable h then h.load <- max 0 (feed i)) t.hosts);
   let best = ref (-1) in
   Array.iteri
     (fun i h ->

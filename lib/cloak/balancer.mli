@@ -96,12 +96,19 @@ val tick : t -> now:int -> unit
 (** {1 Routing} *)
 
 val load : t -> int -> int
-val add_load : t -> int -> unit
-val sub_load : t -> int -> unit
 
 val set_load : t -> int -> int -> unit
-(** Overwrite host [i]'s load outright — for drivers that derive queue
-    depth from their own clock rather than add/sub bookkeeping. *)
+(** Overwrite host [i]'s load outright — the direct form of the feed
+    below, for drivers (and tests) that push occupancy instead of
+    binding a gauge. Negative values clamp to 0. *)
+
+val bind_load : t -> (int -> int) -> unit
+(** Bind the continuous load signal: [feed i] returns host [i]'s current
+    queue depth (typically a telemetry gauge, e.g.
+    [Telemetry.gauge_value tel ~host:i "queue-depth"]). Every {!route}
+    refreshes routable hosts' occupancy from the feed before choosing;
+    dead and draining hosts are not polled — their load is pinned to 0
+    by the state machine. *)
 
 val serving : t -> int
 (** Routable hosts (Healthy, Suspect or Rejoining). *)
@@ -111,5 +118,6 @@ val reduced_service : t -> bool
 
 val route : t -> (int, shed_reason) result
 (** Place one request: least-loaded routable host under its admission
-    bound, or a typed shed. The caller accounts occupancy via
-    {!add_load}/{!sub_load}. *)
+    bound, or a typed shed. Occupancy comes from the bound load feed
+    ({!bind_load}), refreshed on every call; without a feed, from the
+    last {!set_load}. *)

@@ -79,7 +79,7 @@ let kind_tag = function
   | Abort -> "abort"
   | Ack _ -> "ack"
 
-let encode ~key ~session frame =
+let encode ~key ~session ?(tid = 0) frame =
   check_session session;
   let seq, payload =
     match frame with
@@ -90,13 +90,16 @@ let encode ~key ~session frame =
     | Ack seq -> (seq, Bytes.empty)
   in
   let header =
-    Printf.sprintf "%s|%s|%s|%d|%d\n" magic session (kind_tag frame) seq
-      (Bytes.length payload)
+    Printf.sprintf "%s|%s|%s|%d|%d|%d\n" magic session (kind_tag frame) seq
+      (Bytes.length payload) tid
   in
   let body = Bytes.cat (Bytes.of_string header) payload in
   Bytes.cat body (Oscrypto.Hmac.mac ~key body)
 
-let decode ~key ~session wire =
+(* The request trace id rides in the header, so — like every header
+   field — it sits under the frame MAC: an OS that rewrites it to confuse
+   cross-host tracing produces a Bad_mac frame, not a mislabelled one. *)
+let decode_full ~key ~session wire =
   let total = Bytes.length wire in
   if total < 32 then Error Bad_mac
   else
@@ -111,11 +114,17 @@ let decode ~key ~session wire =
           let header = Bytes.sub_string body 0 nl in
           let payload = Bytes.sub body (nl + 1) (Bytes.length body - nl - 1) in
           match String.split_on_char '|' header with
-          | [ m; sess; kind; seq; len ] when m = magic -> (
+          | [ m; sess; kind; seq; len; tid ] when m = magic -> (
               if sess <> session then Error Wrong_session
               else
-                match (int_of_string_opt seq, int_of_string_opt len) with
-                | Some seq, Some len when len = Bytes.length payload -> (
+                match
+                  ( int_of_string_opt seq,
+                    int_of_string_opt len,
+                    int_of_string_opt tid )
+                with
+                | Some seq, Some len, Some tid
+                  when len = Bytes.length payload -> (
+                    let ok frame = Ok (frame, tid) in
                     match kind with
                     | "offer" -> (
                         match
@@ -125,19 +134,22 @@ let decode ~key ~session wire =
                             match (int_of_string_opt n, int_of_string_opt bl) with
                             | Some nchunks, Some blob_len
                               when nchunks >= 0 && blob_len >= 0 ->
-                                Ok (Offer { nchunks; blob_len; digest })
+                                ok (Offer { nchunks; blob_len; digest })
                             | _ -> Error Malformed)
                         | _ -> Error Malformed)
                     | "chunk" ->
                         if seq < 0 then Error Malformed
-                        else Ok (Chunk { seq; payload })
-                    | "ready" -> Ok Ready
-                    | "commit" -> Ok Commit
-                    | "abort" -> Ok Abort
-                    | "ack" -> Ok (Ack seq)
+                        else ok (Chunk { seq; payload })
+                    | "ready" -> ok Ready
+                    | "commit" -> ok Commit
+                    | "abort" -> ok Abort
+                    | "ack" -> ok (Ack seq)
                     | _ -> Error Malformed)
                 | _ -> Error Malformed)
           | _ -> Error Malformed)
+
+let decode ~key ~session wire =
+  Result.map fst (decode_full ~key ~session wire)
 
 (* --- the untrusted channel --- *)
 
@@ -238,6 +250,7 @@ type sender = {
   s_key : bytes;
   s_keyframe : int;
   s_session : string;
+  s_tid : int;
   s_blob : bytes;
   s_chunk_size : int;
   s_nchunks : int;
@@ -253,7 +266,7 @@ type sender = {
 
 let default_chunk_size = 512
 
-let sender vmm ~session ?(chunk_size = default_chunk_size) blob =
+let sender vmm ~session ?(chunk_size = default_chunk_size) ?(trace_id = 0) blob =
   if chunk_size <= 0 then invalid_arg "Migrate.sender: chunk_size must be positive";
   let key = session_key vmm ~session in
   let keyframe = key_frame ~session ~side:"snd" in
@@ -265,6 +278,7 @@ let sender vmm ~session ?(chunk_size = default_chunk_size) blob =
     s_key = key;
     s_keyframe = keyframe;
     s_session = session;
+    s_tid = trace_id;
     s_blob = blob;
     s_chunk_size = chunk_size;
     s_nchunks = nchunks;
@@ -297,13 +311,13 @@ let close_sender s =
 
 let sender_key_scrubbed s = s.s_key_scrubbed
 
-let emit vmm ~key ~session frame =
-  let wire = encode ~key ~session frame in
+let emit vmm ~key ~session ?tid frame =
+  let wire = encode ~key ~session ?tid frame in
   charge_mac vmm (Bytes.length wire);
   wire
 
 let offer_wire s =
-  emit s.s_vmm ~key:s.s_key ~session:s.s_session
+  emit s.s_vmm ~key:s.s_key ~session:s.s_session ~tid:s.s_tid
     (Offer
        { nchunks = s.s_nchunks; blob_len = Bytes.length s.s_blob;
          digest = s.s_digest })
@@ -317,15 +331,18 @@ let chunk_wires s =
       let len = min s.s_chunk_size (Bytes.length s.s_blob - off) in
       Vmm.charge_copy s.s_vmm ~bytes_count:len;
       out :=
-        emit s.s_vmm ~key:s.s_key ~session:s.s_session
+        emit s.s_vmm ~key:s.s_key ~session:s.s_session ~tid:s.s_tid
           (Chunk { seq; payload = Bytes.sub s.s_blob off len })
         :: !out
     end
   done;
   !out
 
-let commit_wire s = emit s.s_vmm ~key:s.s_key ~session:s.s_session Commit
-let abort_wire s = emit s.s_vmm ~key:s.s_key ~session:s.s_session Abort
+let commit_wire s =
+  emit s.s_vmm ~key:s.s_key ~session:s.s_session ~tid:s.s_tid Commit
+
+let abort_wire s =
+  emit s.s_vmm ~key:s.s_key ~session:s.s_session ~tid:s.s_tid Abort
 
 let absorb_ack s wire =
   charge_check s.s_vmm (Bytes.length wire);
@@ -368,6 +385,8 @@ type receiver = {
   mutable r_committed : bool;
   mutable r_aborted : bool;
   mutable r_rejects : reject list;  (* newest first *)
+  mutable r_tid : int;  (* request trace id learned from the first
+                           authenticated frame; 0 until then *)
   mutable r_key_scrubbed : bool;
   mutable r_dropped : bool;
 }
@@ -390,6 +409,7 @@ let receiver vmm ~session =
     r_committed = false;
     r_aborted = false;
     r_rejects = [];
+    r_tid = 0;
     r_key_scrubbed = false;
     r_dropped = false;
   }
@@ -437,13 +457,22 @@ let assemble r =
   then rejected r Digest_mismatch
   else begin
     r.r_blob <- Some blob;
-    [ emit r.r_vmm ~key:r.r_key ~session:r.r_session Ready ]
+    [ emit r.r_vmm ~key:r.r_key ~session:r.r_session ~tid:r.r_tid Ready ]
   end
 
 let deliver r wire =
   charge_check r.r_vmm (Bytes.length wire);
-  let ack code = emit r.r_vmm ~key:r.r_key ~session:r.r_session (Ack code) in
-  match decode ~key:r.r_key ~session:r.r_session wire with
+  let decoded = decode_full ~key:r.r_key ~session:r.r_session wire in
+  (* adopt the request trace id from the first authenticated frame that
+     carries one; acks from here on echo it back, so the id round-trips
+     end to end without ever leaving the MAC'd header *)
+  (match decoded with
+  | Ok (_, tid) when r.r_tid = 0 && tid <> 0 -> r.r_tid <- tid
+  | _ -> ());
+  let ack code =
+    emit r.r_vmm ~key:r.r_key ~session:r.r_session ~tid:r.r_tid (Ack code)
+  in
+  match Result.map fst decoded with
   | Error why -> rejected r why
   | Ok _ when r.r_aborted -> []  (* session torn down; stay silent *)
   | Ok (Offer { nchunks; blob_len; digest }) ->
@@ -494,6 +523,7 @@ let deliver r wire =
   | Ok (Ready | Ack _) -> []  (* reverse frames reflected forward; ignore *)
 
 let blob r = r.r_blob
+let trace_id r = r.r_tid
 let committed r = r.r_committed
 let aborted r = r.r_aborted
 let rejects r = List.rev r.r_rejects

@@ -51,9 +51,12 @@ val session_key : Vmm.t -> session:string -> bytes
 (** The per-session transfer key. [session] must be non-empty and contain
     only [[A-Za-z0-9:._-]]. *)
 
-val encode : key:bytes -> session:string -> frame -> bytes
-(** Wire form: [MIGF1|session|kind|seq|len\n] + payload + 32-byte HMAC
-    trailer over everything before it. Pure; cycle charging happens in the
+val encode : key:bytes -> session:string -> ?tid:int -> frame -> bytes
+(** Wire form: [MIGF1|session|kind|seq|len|tid\n] + payload + 32-byte HMAC
+    trailer over everything before it. [tid] (default 0 = none) is the
+    request trace id for causal cross-host tracing; as a header field it
+    sits under the MAC, so the OS cannot relabel a frame's request
+    without failing [Bad_mac]. Pure; cycle charging happens in the
     sender/receiver wrappers. *)
 
 val decode : key:bytes -> session:string -> bytes -> (frame, reject) result
@@ -99,10 +102,13 @@ type sender
 
 val default_chunk_size : int
 
-val sender : Vmm.t -> session:string -> ?chunk_size:int -> bytes -> sender
+val sender :
+  Vmm.t -> session:string -> ?chunk_size:int -> ?trace_id:int -> bytes -> sender
 (** Wrap a sealed blob for transfer: derives the session key, splits into
     [chunk_size]-byte pieces and computes the end-to-end digest (charged
-    to the source VMM's cycle account). *)
+    to the source VMM's cycle account). [trace_id] (default 0 = none)
+    stamps every frame of the session with the migrating request's trace
+    id — see {!encode}. *)
 
 val offer_wire : sender -> bytes
 val chunk_wires : sender -> bytes list
@@ -160,6 +166,12 @@ val blob : receiver -> bytes option
 (** The assembled blob — only once every chunk arrived and the end-to-end
     digest verified; by construction byte-identical to what the source
     sealed. *)
+
+val trace_id : receiver -> int
+(** The request trace id learned from the first authenticated frame that
+    carried one (0 until then) — the destination's handle for continuing
+    the request's causal trace after adoption. Authenticated: only a
+    frame that passed its session MAC can set it. *)
 
 val committed : receiver -> bool
 val aborted : receiver -> bool

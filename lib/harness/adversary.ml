@@ -350,7 +350,8 @@ let pp_seed_report ppf r =
           (fun c ->
             Printf.sprintf "%s=%s" (Adv.class_name c.cls) (outcome_name c.outcome))
           r.classes));
-  if r.audit_dropped > 0 then
-    Format.fprintf ppf " (audit window truncated: %d dropped)" r.audit_dropped;
+  (match Sweep.truncation_note r.audit_dropped with
+  | Some note -> Format.fprintf ppf " (%s)" note
+  | None -> ());
   List.iter (fun f -> Format.fprintf ppf "@.    FAILED %s" f) r.failures;
   Format.fprintf ppf "@."

@@ -235,9 +235,9 @@ let pp_report ppf r =
         match r.leaks with
         | [] -> "clean"
         | l -> "LEAK " ^ String.concat ", " l));
-  if r.audit_dropped > 0 then
-    Format.fprintf ppf "    audit window truncated: %d entries dropped@."
-      r.audit_dropped;
+  (match Sweep.truncation_note r.audit_dropped with
+  | Some note -> Format.fprintf ppf "    %s@." note
+  | None -> ());
   (match r.hot_spots with
   | [] ->
       if r.trace_dropped > 0 then

@@ -427,20 +427,15 @@ let run_matrix ?(progress = fun _ -> ()) ?(per_site = 6) ~seeds () =
             (fun f ->
               failures := (seed, Printf.sprintf "%s: %s" (point_to_string point) f) :: !failures)
             o.failures;
-          if o.audit <> o'.audit then begin
-            let dropped = max o.audit_dropped o'.audit_dropped in
-            let what =
-              if dropped > 0 then
-                Printf.sprintf
-                  "%s: audit window truncated (%d entries dropped): replay \
-                   comparison covers different windows"
-                  (point_to_string point) dropped
-              else
-                Printf.sprintf "%s: nondeterministic crash/recovery audit"
-                  (point_to_string point)
-            in
-            failures := (seed, what) :: !failures
-          end;
+          (match
+             Sweep.determinism_failure ~audit_a:o.audit ~audit_b:o'.audit
+               ~dropped:(max o.audit_dropped o'.audit_dropped)
+           with
+          | Some what ->
+              failures :=
+                (seed, Printf.sprintf "%s: %s" (point_to_string point) what)
+                :: !failures
+          | None -> ());
           progress o)
         (points_of_stats ~per_site stats))
     seeds;

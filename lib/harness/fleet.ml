@@ -51,7 +51,10 @@ type host = {
   htrace : Trace.t;
   mutable spawned : bool;
   mutable pid : int;
-  mutable adopted : (int * int) list;  (* adopted pid, source host *)
+  mutable tid : int;  (* the request trace id of its own service process *)
+  mutable spawn_at : int;
+  mutable adopted : (int * int * int) list;
+      (* adopted pid, source host, request trace id (from the wire) *)
   mutable died : bool;
   mutable drained : bool;
   mutable drain_at : int;  (* local cycles when its process left *)
@@ -61,7 +64,12 @@ type host = {
   mutable last_contained : int;
 }
 
-type failover_record = { fo_src : int; fo_dst : int; fo_blob : bytes }
+type failover_record = {
+  fo_src : int;
+  fo_dst : int;
+  fo_tid : int;  (* the travelling request's trace id *)
+  fo_blob : bytes;
+}
 
 type fleet = {
   f_seed : int;
@@ -70,9 +78,13 @@ type fleet = {
   bal : Cloak.Balancer.t;
   hosts : host array;
   jitter : Oscrypto.Prng.t;
+  tel : Telemetry.t array;  (* per-host registries, merged after the run *)
+  mutable next_tid : int;
+  seqs : (int, int ref) Hashtbl.t;  (* per request: next hop sequence *)
   mutable sessions : int;
-  pending : (int * int * bytes) list array;
-      (* per destination: (source host, travelling pid, verified blob) *)
+  pending : (int * int * bytes * int) list array;
+      (* per destination: (source host, travelling pid, verified blob,
+         request trace id learned from the authenticated wire) *)
   mutable records : failover_record list;
   mutable lost : int;        (* cloaked processes lost for good *)
   mutable drains : int;      (* committed suspicion-triggered drains *)
@@ -83,6 +95,24 @@ type fleet = {
 
 let tag_of pid = Cloak.Resource.tag (Cloak.Resource.Anon pid)
 let coordinator fl = fl.hosts.(0).vmm
+
+(* Request trace ids are minted unconditionally (never 0 — 0 means "no
+   id" on the wire) so the MIGF1 frames are byte-identical whether
+   telemetry is recording or not: the disabled path must not change a
+   single charged cycle. *)
+let mint_tid fl =
+  let t = fl.next_tid in
+  fl.next_tid <- t + 1;
+  t
+
+let next_seq fl tid =
+  match Hashtbl.find_opt fl.seqs tid with
+  | Some r ->
+      incr r;
+      !r
+  | None ->
+      Hashtbl.replace fl.seqs tid (ref 0);
+      0
 
 let is_stale = function
   | Cloak.Violation.Security_fault { kind = Cloak.Violation.Stale_checkpoint; _ } ->
@@ -143,10 +173,12 @@ let nudge fl ~src_vmm snd rcv ~wire ~done_ =
 (* One authenticated transfer attempt src → dst. On READY: fence (retire
    the source's seal generation — the split-brain point of no return),
    COMMIT, scrub both session keys, return the destination's verified
-   blob. On deadline: ABORT, scrub, None — nothing was staled. *)
-let attempt_transfer fl ~src ~dst ~tag ~session blob =
+   blob paired with the request trace id the receiver learned from the
+   authenticated frames. On deadline: ABORT, scrub, None — nothing was
+   staled. *)
+let attempt_transfer fl ~src ~dst ~tag ~session ~trace_id blob =
   let src_vmm = fl.hosts.(src).vmm in
-  let snd = Cloak.Migrate.sender src_vmm ~session blob in
+  let snd = Cloak.Migrate.sender src_vmm ~session ~trace_id blob in
   let rcv = Cloak.Migrate.receiver fl.hosts.(dst).vmm ~session in
   let teardown () =
     Cloak.Migrate.close_sender snd;
@@ -159,7 +191,11 @@ let attempt_transfer fl ~src ~dst ~tag ~session blob =
       nudge fl ~src_vmm snd rcv
         ~wire:(fun () -> Cloak.Migrate.commit_wire snd)
         ~done_:(fun () -> Cloak.Migrate.commit_acked snd);
-      let out = Cloak.Migrate.blob rcv in
+      let out =
+        Option.map
+          (fun b -> (b, Cloak.Migrate.trace_id rcv))
+          (Cloak.Migrate.blob rcv)
+      in
       teardown ();
       out
   | exception Retry.Deadline_exceeded ->
@@ -184,7 +220,7 @@ let choose_target fl ~src ~travelling_pid =
         && Cloak.Balancer.state fl.bal j = Cloak.Balancer.Healthy
         && not
              (List.exists
-                (fun (_, p, _) -> p = travelling_pid)
+                (fun (_, p, _, _) -> p = travelling_pid)
                 fl.pending.(j))
       then begin
         let load = List.length fl.pending.(j) in
@@ -207,11 +243,19 @@ let rec hook fl h blob =
   | Some Inject.Crash_point -> Inject.crashed Inject.Host_power
   | Some _ | None -> ());
   let now = Cost.cycles (Cloak.Vmm.cost h.vmm) in
+  let tel = fl.tel.(h.idx) in
   (match Inject.fire fl.engine Inject.Hb_send with
   | Some _ ->
       Cloak.Balancer.missed_heartbeat fl.bal h.idx;
-      c0.fleet_hb_timeouts <- c0.fleet_hb_timeouts + 1
-  | None -> Cloak.Balancer.heartbeat fl.bal h.idx ~now);
+      c0.fleet_hb_timeouts <- c0.fleet_hb_timeouts + 1;
+      Telemetry.incr tel ~host:h.idx ~at:now "hb-miss"
+  | None ->
+      Cloak.Balancer.heartbeat fl.bal h.idx ~now;
+      Telemetry.incr tel ~host:h.idx ~at:now "heartbeat");
+  (* each heartbeat interval is one instant hop of the host's request,
+     so the causal trace shows liveness between the coarse stage hops *)
+  Telemetry.span tel ~host:h.idx ~tid:h.tid ~hop:"heartbeat"
+    ~seq:(next_seq fl h.tid) ~t0:now ~t1:now;
   let contained = (Cloak.Vmm.counters h.vmm).contained in
   for _ = 1 to min 32 (contained - h.last_contained) do
     Cloak.Balancer.record_error fl.bal h.idx
@@ -241,7 +285,8 @@ let rec hook fl h blob =
         fl.sessions <- fl.sessions + 1;
         let session = Printf.sprintf "f%d-h%d-s%d" fl.f_seed h.idx fl.sessions in
         let outcome =
-          attempt_transfer fl ~src:h.idx ~dst ~tag:(tag_of h.pid) ~session blob
+          attempt_transfer fl ~src:h.idx ~dst ~tag:(tag_of h.pid) ~session
+            ~trace_id:h.tid blob
         in
         let dt = Cost.cycles (Cloak.Vmm.cost h.vmm) - t0 in
         let ch = Cloak.Vmm.counters h.vmm in
@@ -249,12 +294,16 @@ let rec hook fl h blob =
         Trace.span_exit h.htrace ~ctx:Trace.Vmm ~site:(tag_of h.pid)
           Trace.Migration;
         (match outcome with
-        | Some dblob ->
+        | Some (dblob, wire_tid) ->
             h.drained <- true;
             h.drain_at <- Cost.cycles (Cloak.Vmm.cost h.vmm);
-            fl.pending.(dst) <- (h.idx, h.pid, dblob) :: fl.pending.(dst);
+            Telemetry.span tel ~host:h.idx ~tid:h.tid ~hop:"drain"
+              ~seq:(next_seq fl h.tid) ~t0 ~t1:h.drain_at;
+            Telemetry.incr tel ~host:h.idx ~at:h.drain_at "drain-commit";
+            fl.pending.(dst) <- (h.idx, h.pid, dblob, wire_tid) :: fl.pending.(dst);
             fl.records <-
-              { fo_src = h.idx; fo_dst = dst; fo_blob = dblob } :: fl.records;
+              { fo_src = h.idx; fo_dst = dst; fo_tid = wire_tid; fo_blob = dblob }
+              :: fl.records;
             fl.drains <- fl.drains + 1;
             fl.downtimes <- dt :: fl.downtimes;
             c0.fleet_failovers <- c0.fleet_failovers + 1;
@@ -280,6 +329,7 @@ let crash_failover fl h =
   h.died <- true;
   h.death_at <- Cost.cycles (Cloak.Vmm.cost h.vmm);
   Cloak.Balancer.mark_dead fl.bal h.idx ~now:h.death_at;
+  Telemetry.incr fl.tel.(h.idx) ~host:h.idx ~at:h.death_at "host-death";
   fl.lost <- fl.lost + List.length h.adopted;
   if not h.drained then
     match Kernel.supervision_stats h.k ~pid:h.pid with
@@ -301,14 +351,21 @@ let crash_failover fl h =
               let t0 = Cost.cycles (Cloak.Vmm.cost h.vmm) in
               match
                 attempt_transfer fl ~src:h.idx ~dst ~tag:(tag_of h.pid)
-                  ~session blob
+                  ~session ~trace_id:h.tid blob
               with
-              | Some dblob ->
+              | Some (dblob, wire_tid) ->
                   committed := true;
-                  let dt = Cost.cycles (Cloak.Vmm.cost h.vmm) - t0 in
-                  fl.pending.(dst) <- (h.idx, h.pid, dblob) :: fl.pending.(dst);
+                  let t1 = Cost.cycles (Cloak.Vmm.cost h.vmm) in
+                  let dt = t1 - t0 in
+                  Telemetry.span fl.tel.(h.idx) ~host:h.idx ~tid:h.tid
+                    ~hop:"rescue" ~seq:(next_seq fl h.tid) ~t0 ~t1;
+                  Telemetry.incr fl.tel.(h.idx) ~host:h.idx ~at:t1
+                    "rescue-commit";
+                  fl.pending.(dst) <-
+                    (h.idx, h.pid, dblob, wire_tid) :: fl.pending.(dst);
                   fl.records <-
-                    { fo_src = h.idx; fo_dst = dst; fo_blob = dblob }
+                    { fo_src = h.idx; fo_dst = dst; fo_tid = wire_tid;
+                      fo_blob = dblob }
                     :: fl.records;
                   fl.crash_failovers <- fl.crash_failovers + 1;
                   fl.downtimes <- dt :: fl.downtimes;
@@ -319,13 +376,19 @@ let crash_failover fl h =
 
 let adopt_pending fl h errors =
   List.iter
-    (fun (src, _pid, blob) ->
+    (fun (src, _pid, blob, tid) ->
       let t0 = Cost.cycles (Cloak.Vmm.cost h.vmm) in
       match Kernel.adopt_migrated h.k ~policy ~prog:service blob with
       | p ->
-          fl.install_cycles <-
-            fl.install_cycles + (Cost.cycles (Cloak.Vmm.cost h.vmm) - t0);
-          h.adopted <- (p, src) :: h.adopted
+          let t1 = Cost.cycles (Cloak.Vmm.cost h.vmm) in
+          fl.install_cycles <- fl.install_cycles + (t1 - t0);
+          (* the adopt hop continues the request's trace under the id
+             carried (MAC-covered) in the migration frames, not a local
+             guess — this is what stitches the two hosts together *)
+          Telemetry.span fl.tel.(h.idx) ~host:h.idx ~tid ~hop:"adopt"
+            ~seq:(next_seq fl tid) ~t0 ~t1;
+          Telemetry.incr fl.tel.(h.idx) ~host:h.idx ~at:t1 "adopt";
+          h.adopted <- (p, src, tid) :: h.adopted
       | exception e ->
           errors :=
             Printf.sprintf "host %d refused blob drained from host %d: %s"
@@ -357,6 +420,12 @@ type sim = {
   sim_p50 : int;
   sim_p95 : int;
   sim_p99 : int;
+  sim_samples : int;  (* telemetry samples this sim recorded *)
+  sim_timeline : (int * int * int * int) list;
+      (* per window: (window, admitted, good, p99 latency) *)
+  sim_fast_alerts : int;
+  sim_slow_alerts : int;
+  sim_worst_burn : float;
 }
 
 let sheds_total s =
@@ -377,9 +446,16 @@ type timeline = {
   t_end : int;
 }
 
-let simulate ~seed ~mean_gap ~supervised (tl : timeline array) =
+let simulate ~seed ~mean_gap ~supervised ~telemetry (tl : timeline array) =
   let n = Array.length tl in
   let horizon = Array.fold_left (fun a t -> max a t.t_end) 1 tl in
+  (* ~24 windows over the run: coarse enough that every window sees
+     traffic, fine enough that an outage spans several *)
+  let tel =
+    if telemetry then
+      Telemetry.create ~window_cycles:(max 1 (horizon / 24)) ()
+    else Telemetry.null
+  in
   let svc = max 1 (horizon / 200) in
   (* queue bound 6 ⇒ an admitted request on a live host waits at most 6
      service times, so the budget of 8 is met by construction fault-free *)
@@ -437,6 +513,10 @@ let simulate ~seed ~mean_gap ~supervised (tl : timeline array) =
   let sh_o = ref 0 and sh_d = ref 0 and sh_n = ref 0 in
   let serve i t_arr =
     admitted := !admitted + 1;
+    (* SLO series, stamped at admission: the outcome is known
+       synchronously here, so a window's good count can never exceed its
+       admitted count *)
+    Telemetry.incr tel ~at:t_arr "admitted";
     let s = max t_arr busy.(i) in
     let fin = s + svc in
     busy.(i) <- fin;
@@ -457,13 +537,27 @@ let simulate ~seed ~mean_gap ~supervised (tl : timeline array) =
       completed := !completed + 1;
       let lat = fin - t_arr in
       Trace.Hist.add hist lat;
-      if lat <= budget then within := !within + 1
+      Telemetry.observe tel ~at:t_arr "latency" lat;
+      if lat <= budget then begin
+        within := !within + 1;
+        Telemetry.incr tel ~at:t_arr "good"
+      end
     end
     else lost := !lost + 1
   in
   let t = ref (next_gap ()) in
+  (* the routing signal: the queue-depth gauge written at each arrival.
+     With telemetry off the feed falls back to the depth function the
+     gauge samples, so routing decisions are identical either way. *)
+  Cloak.Balancer.bind_load bal (fun i ->
+      if Telemetry.enabled tel then
+        Telemetry.gauge_value tel ~host:i "queue-depth"
+      else depth i !t);
   while !t < horizon do
     arrivals := !arrivals + 1;
+    for i = 0 to n - 1 do
+      Telemetry.gauge tel ~host:i ~at:!t "queue-depth" (depth i !t)
+    done;
     (* a revived host restarts with an empty queue *)
     Array.iteri
       (fun i r ->
@@ -487,9 +581,6 @@ let simulate ~seed ~mean_gap ~supervised (tl : timeline array) =
           | _ -> ())
         removal;
       Cloak.Balancer.tick bal ~now:!t;
-      for i = 0 to n - 1 do
-        Cloak.Balancer.set_load bal i (depth i !t)
-      done;
       match Cloak.Balancer.route bal with
       | Ok i -> serve i !t
       | Error Cloak.Balancer.Overload -> sh_o := !sh_o + 1
@@ -506,6 +597,22 @@ let simulate ~seed ~mean_gap ~supervised (tl : timeline array) =
     end;
     t := !t + next_gap ()
   done;
+  let goods = Telemetry.counter_windows_all tel "good" in
+  let totals = Telemetry.counter_windows_all tel "admitted" in
+  let lat_windows = Telemetry.hist_windows_all tel "latency" in
+  let timeline =
+    List.map
+      (fun (w, total) ->
+        let good = try List.assoc w goods with Not_found -> 0 in
+        let p99 =
+          match List.assoc_opt w lat_windows with
+          | Some h -> Trace.Hist.percentile h 0.99
+          | None -> 0
+        in
+        (w, total, good, p99))
+      totals
+  in
+  let ev = Telemetry.Slo.evaluate ~good:goods ~total:totals () in
   {
     sim_arrivals = !arrivals;
     sim_admitted = !admitted;
@@ -518,6 +625,11 @@ let simulate ~seed ~mean_gap ~supervised (tl : timeline array) =
     sim_p50 = Trace.Hist.percentile hist 0.5;
     sim_p95 = Trace.Hist.percentile hist 0.95;
     sim_p99 = Trace.Hist.percentile hist 0.99;
+    sim_samples = Telemetry.samples tel;
+    sim_timeline = timeline;
+    sim_fast_alerts = ev.Telemetry.Slo.ev_fast_fires;
+    sim_slow_alerts = ev.Telemetry.Slo.ev_slow_fires;
+    sim_worst_burn = ev.Telemetry.Slo.ev_worst_burn;
   }
 
 (* --- one fleet scenario --- *)
@@ -531,8 +643,12 @@ type run = {
   r_double_resumes : int;
   r_downtimes : int list;
   r_install_cycles : int;
+  r_cycles : int;  (* total charged model cycles across all hosts *)
   r_sup : sim;
   r_unsup : sim;
+  r_tel : Telemetry.t;  (* the hosts' registries merged fleet-level *)
+  r_stitched : int;  (* complete cross-host causal traces *)
+  r_host_traces : (int * string * Trace.t) list;  (* per-host flight recorders *)
   r_leaks : string list;
   r_trace_failures : string list;
   r_mech_failures : string list;
@@ -541,7 +657,7 @@ type run = {
   r_crash : string option;  (* an exception that escaped the harness *)
 }
 
-let run_once ~plan ~seed =
+let run_once ?(telemetry = true) ~plan ~seed () =
   let engine = Inject.create plan in
   (* every host shares the fleet master secret: same vconfig seed *)
   let vconfig = Sweep.vconfig ~salt:0xF1EE7 ~seed in
@@ -550,9 +666,9 @@ let run_once ~plan ~seed =
     let vmm = Cloak.Vmm.create ~config:vconfig ~engine ~trace:htrace () in
     let k = Kernel.create ~config:kconfig vmm in
     {
-      idx; vmm; k; htrace; spawned = false; pid = -1; adopted = [];
-      died = false; drained = false; drain_at = 0; death_at = 0; end_at = 0;
-      drain_attempts = 0; last_contained = 0;
+      idx; vmm; k; htrace; spawned = false; pid = -1; tid = 0; spawn_at = 0;
+      adopted = []; died = false; drained = false; drain_at = 0; death_at = 0;
+      end_at = 0; drain_attempts = 0; last_contained = 0;
     }
   in
   let hosts = Array.init n_hosts mk in
@@ -564,6 +680,11 @@ let run_once ~plan ~seed =
       bal = Cloak.Balancer.create ~hosts:n_hosts ();
       hosts;
       jitter = Oscrypto.Prng.create ~seed:(seed lxor 0xF7EE);
+      tel =
+        Array.init n_hosts (fun _ ->
+            if telemetry then Telemetry.create () else Telemetry.null);
+      next_tid = 1;
+      seqs = Hashtbl.create 8;
       sessions = 0;
       pending = Array.make n_hosts [];
       records = [];
@@ -579,15 +700,49 @@ let run_once ~plan ~seed =
   Array.iter
     (fun h ->
       if !escaped = None then begin
+        let tel = fl.tel.(h.idx) in
         adopt_pending fl h errors;
+        (* mint the request id at admission — before the process exists —
+           and reserve the service hop's sequence slot so the span (only
+           emitted once its end is known) still sorts before the
+           heartbeats it encloses *)
+        h.tid <- mint_tid fl;
+        let t_adm = Cost.cycles (Cloak.Vmm.cost h.vmm) in
+        Telemetry.span tel ~host:h.idx ~tid:h.tid ~hop:"admission"
+          ~seq:(next_seq fl h.tid) ~t0:t_adm ~t1:t_adm;
+        let svc_seq = next_seq fl h.tid in
         h.pid <- Kernel.spawn_supervised h.k ~policy service;
+        h.spawn_at <- Cost.cycles (Cloak.Vmm.cost h.vmm);
         ignore (Kernel.spawn h.k antagonist);
         h.spawned <- true;
         Kernel.request_migration h.k ~pid:h.pid (hook fl h);
         (try Kernel.run h.k with
         | Inject.Vmm_crash _ -> crash_failover fl h
         | e -> escaped := Some (Printexc.to_string e));
-        h.end_at <- Cost.cycles (Cloak.Vmm.cost h.vmm)
+        h.end_at <- Cost.cycles (Cloak.Vmm.cost h.vmm);
+        let svc_end =
+          if h.drained then h.drain_at
+          else if h.died then h.death_at
+          else h.end_at
+        in
+        Telemetry.span tel ~host:h.idx ~tid:h.tid ~hop:"service" ~seq:svc_seq
+          ~t0:h.spawn_at ~t1:svc_end;
+        if !escaped = None && not h.died then begin
+          if
+            (not h.drained)
+            && Kernel.exit_status h.k ~pid:h.pid = Some 0
+          then
+            Telemetry.span tel ~host:h.idx ~tid:h.tid ~hop:"completion"
+              ~seq:(next_seq fl h.tid) ~t0:h.end_at ~t1:h.end_at;
+          (* adopted requests that ran to exit complete here, closing the
+             cross-host trace their migration frames carried over *)
+          List.iter
+            (fun (pid, _src, tid) ->
+              if Kernel.exit_status h.k ~pid = Some 0 then
+                Telemetry.span tel ~host:h.idx ~tid ~hop:"completion"
+                  ~seq:(next_seq fl tid) ~t0:h.end_at ~t1:h.end_at)
+            h.adopted
+        end
       end)
     hosts;
   (* snapshot the deterministic surfaces before the probes below append
@@ -599,7 +754,7 @@ let run_once ~plan ~seed =
     (fun h ->
       if h.spawned && not h.died then
         List.iter
-          (fun (pid, src) ->
+          (fun (pid, src, _tid) ->
             if Kernel.exit_status h.k ~pid <> Some 0 then
               errors :=
                 Printf.sprintf
@@ -671,12 +826,50 @@ let run_once ~plan ~seed =
       hosts;
     if !cnt = 0 then 0.0 else !sum /. float_of_int !cnt
   in
-  let sup = simulate ~seed ~mean_gap ~supervised:true tl in
-  let unsup = simulate ~seed ~mean_gap ~supervised:false tl in
+  let sup = simulate ~seed ~mean_gap ~supervised:true ~telemetry tl in
+  let unsup = simulate ~seed ~mean_gap ~supervised:false ~telemetry tl in
   let c0 = Cloak.Vmm.counters (coordinator fl) in
   c0.fleet_sheds <- c0.fleet_sheds + sheds_total sup;
   let deaths =
     Array.fold_left (fun a h -> if h.died then a + 1 else a) 0 hosts
+  in
+  (* fleet-level series: the per-host registries merged (associatively —
+     any order gives the same series), then every committed failover
+     checked for its stitched cross-host causal trace *)
+  let r_tel = Telemetry.merge_all (Array.to_list fl.tel) in
+  let stitched =
+    if not (Telemetry.enabled r_tel) then 0
+    else begin
+      let traces = Telemetry.Causal.stitch (Telemetry.spans r_tel) in
+      if !escaped = None then
+        List.iter
+          (fun rc ->
+            let dst = fl.hosts.(rc.fo_dst) in
+            if not dst.died then
+              let ok =
+                List.exists
+                  (fun tr ->
+                    tr.Telemetry.Causal.tr_tid = rc.fo_tid
+                    && tr.tr_complete
+                    && List.mem rc.fo_src tr.tr_hosts
+                    && List.mem rc.fo_dst tr.tr_hosts)
+                  traces
+              in
+              if not ok then
+                errors :=
+                  Printf.sprintf
+                    "failover %d->%d (request %d) left no stitched \
+                     cross-host trace"
+                    rc.fo_src rc.fo_dst rc.fo_tid
+                  :: !errors)
+          fl.records;
+      List.length
+        (List.filter
+           (fun tr ->
+             tr.Telemetry.Causal.tr_complete
+             && List.length tr.Telemetry.Causal.tr_hosts >= 2)
+           traces)
+    end
   in
   {
     r_deaths = deaths;
@@ -687,8 +880,18 @@ let run_once ~plan ~seed =
     r_double_resumes = !double_resumes;
     r_downtimes = List.rev fl.downtimes;
     r_install_cycles = fl.install_cycles;
+    r_cycles =
+      Array.fold_left
+        (fun a h -> a + Cost.cycles (Cloak.Vmm.cost h.vmm))
+        0 hosts;
     r_sup = sup;
     r_unsup = unsup;
+    r_tel;
+    r_stitched = stitched;
+    r_host_traces =
+      List.map
+        (fun h -> (h.idx, Printf.sprintf "host %d" h.idx, h.htrace))
+        (Array.to_list hosts);
     r_leaks = leaks;
     r_trace_failures = trace_failures;
     r_mech_failures = List.rev !errors;
@@ -788,17 +991,25 @@ type seed_report = {
   downtimes : int list;
   double_resumes : int;
   audit_dropped : int;
+  tel_samples : int;
+  tel_spans : int;
+  stitched_traces : int;  (* hostile run: complete cross-host traces *)
+  burn_fast_alerts : int;  (* hostile run, supervised + unsupervised *)
+  burn_slow_alerts : int;
+  sup_timeline : (int * int * int * int) list;
+      (* hostile supervised, per window: (window, admitted, good, p99) *)
+  unsup_timeline : (int * int * int * int) list;
   failures : string list;
 }
 
 let run_seed ~seed =
   let fails = ref [] in
   let fail m = fails := m :: !fails in
-  let ff = run_once ~plan:(Inject.plan ~seed []) ~seed in
+  let ff = run_once ~plan:(Inject.plan ~seed []) ~seed () in
   let hplan = fleet_plan ~seed in
-  let h1 = run_once ~plan:hplan ~seed in
-  let h2 = run_once ~plan:hplan ~seed in
-  let bh = run_once ~plan:(blackhole_plan ~seed) ~seed in
+  let h1 = run_once ~plan:hplan ~seed () in
+  let h2 = run_once ~plan:hplan ~seed () in
+  let bh = run_once ~plan:(blackhole_plan ~seed) ~seed () in
   (* fault-free: full service, nobody dies, the latency SLO holds *)
   if ff.r_deaths > 0 || ff.r_drains > 0 then fail "fault-free fleet lost a host";
   if ff.r_lost > 0 then fail "fault-free fleet lost a process";
@@ -845,6 +1056,18 @@ let run_seed ~seed =
       (Printf.sprintf
          "blackhole: supervised goodput %d not above unsupervised %d"
          (goodput bh.r_sup) (goodput bh.r_unsup));
+  (* burn-rate alerts: a fault-free fleet never pages; a lethal plan must
+     trip the monitor in at least one variant (the unsupervised corpse
+     soaks traffic to the horizon, so the union is robustly non-zero) *)
+  let sim_alerts s = s.sim_fast_alerts + s.sim_slow_alerts in
+  if sim_alerts ff.r_sup + sim_alerts ff.r_unsup > 0 then
+    fail "fault-free run fired a burn-rate alert";
+  let hostile_fast = h1.r_sup.sim_fast_alerts + h1.r_unsup.sim_fast_alerts in
+  let hostile_slow = h1.r_sup.sim_slow_alerts + h1.r_unsup.sim_slow_alerts in
+  if h1.r_deaths > 0 && hostile_fast + hostile_slow = 0 then
+    fail "hostile: a host died but no burn-rate alert fired";
+  (* run_once already errors per committed failover whose surviving
+     destination lacks a stitched cross-host trace *)
   {
     seed;
     ff_budget_pct = budget_pct ff.r_sup;
@@ -869,6 +1092,15 @@ let run_seed ~seed =
     audit_dropped =
       max ff.r_audit_dropped
         (max bh.r_audit_dropped (max h1.r_audit_dropped h2.r_audit_dropped));
+    tel_samples =
+      Telemetry.samples h1.r_tel + h1.r_sup.sim_samples
+      + h1.r_unsup.sim_samples;
+    tel_spans = Telemetry.span_count h1.r_tel;
+    stitched_traces = h1.r_stitched;
+    burn_fast_alerts = hostile_fast;
+    burn_slow_alerts = hostile_slow;
+    sup_timeline = h1.r_sup.sim_timeline;
+    unsup_timeline = h1.r_unsup.sim_timeline;
     failures = List.rev !fails;
   }
 
@@ -888,6 +1120,11 @@ type verdict = {
   p99_latency : int;       (* worst seed, hostile supervised *)
   p50_downtime : int;
   p95_downtime : int;
+  total_tel_samples : int;
+  total_tel_spans : int;
+  total_stitched : int;
+  total_burn_fast : int;
+  total_burn_slow : int;
   reports : seed_report list;
   failures : (int * string) list;
 }
@@ -920,6 +1157,11 @@ let run_seeds ?progress ~seeds () =
     p99_latency = worst (fun r -> r.p99_latency) 0 ( > );
     p50_downtime = Trace.Hist.percentile hist 0.5;
     p95_downtime = Trace.Hist.percentile hist 0.95;
+    total_tel_samples = sum (fun r -> r.tel_samples);
+    total_tel_spans = sum (fun r -> r.tel_spans);
+    total_stitched = sum (fun r -> r.stitched_traces);
+    total_burn_fast = sum (fun r -> r.burn_fast_alerts);
+    total_burn_slow = sum (fun r -> r.burn_slow_alerts);
     reports;
     failures =
       Sweep.collect_failures
@@ -938,7 +1180,8 @@ let pp_seed_report ppf (r : seed_report) =
   Format.fprintf ppf
     "seed %d: ff %.1f%% in budget; %d death%s, %d drain%s, %d failover%s, %d \
      lost, %d hb timeouts; goodput sup=%d unsup=%d; %d sheds (%d overload, \
-     %d draining, %d no-capacity); latency p95=%d p99=%d%s%s"
+     %d draining, %d no-capacity); latency p95=%d p99=%d; telemetry %d \
+     samples, %d spans, %d stitched, alerts fast=%d slow=%d%s%s"
     r.seed r.ff_budget_pct r.deaths
     (if r.deaths = 1 then "" else "s")
     r.drains
@@ -947,7 +1190,8 @@ let pp_seed_report ppf (r : seed_report) =
     (if r.failovers = 1 then "" else "s")
     r.lost_procs r.hb_timeouts r.sup_goodput r.unsup_goodput r.sheds
     r.sheds_overload r.sheds_draining r.sheds_no_capacity r.p95_latency
-    r.p99_latency
+    r.p99_latency r.tel_samples r.tel_spans r.stitched_traces
+    r.burn_fast_alerts r.burn_slow_alerts
     (if r.failures = [] then "" else " INVARIANTS BROKEN: ")
     (String.concat "; " r.failures)
 
@@ -956,10 +1200,11 @@ let summary_line (v : verdict) =
     "fleet: %d seeds, ff %.1f%% in budget (worst), %d deaths, %d drains, %d \
      failovers (%d lost, 0-double-resume=%b), goodput sup=%d unsup=%d, %d \
      sheds, %d hb timeouts, failover downtime p50=%d p95=%d cycles, %d \
-     invariant failures"
+     stitched traces, burn alerts fast=%d slow=%d, %d invariant failures"
     v.seeds_run v.ff_budget_pct v.total_deaths v.total_drains v.total_failovers
     v.total_lost
     (v.total_double_resumes = 0)
     v.sup_goodput v.unsup_goodput v.total_sheds v.total_hb_timeouts
-    v.p50_downtime v.p95_downtime
+    v.p50_downtime v.p95_downtime v.total_stitched v.total_burn_fast
+    v.total_burn_slow
     (List.length v.failures)

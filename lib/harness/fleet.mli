@@ -66,6 +66,13 @@ type sim = {
   sim_p50 : int;
   sim_p95 : int;
   sim_p99 : int;
+  sim_samples : int;  (** telemetry samples this sim recorded *)
+  sim_timeline : (int * int * int * int) list;
+      (** per window: [(window, admitted, good, p99 latency)] — the
+          time-series behind the end-of-run aggregates *)
+  sim_fast_alerts : int;  (** fast burn-rate alert firings *)
+  sim_slow_alerts : int;
+  sim_worst_burn : float;
 }
 
 val sheds_total : sim -> int
@@ -84,8 +91,16 @@ type run = {
   r_double_resumes : int;
   r_downtimes : int list;
   r_install_cycles : int;
+  r_cycles : int;  (** total model cycles across every host VMM *)
   r_sup : sim;
   r_unsup : sim;
+  r_tel : Telemetry.t;
+      (** every host's registry merged — counters summed, spans pooled *)
+  r_stitched : int;
+      (** complete causal traces spanning ≥ 2 hosts (each a failover
+          followed cross-host from admission to completion) *)
+  r_host_traces : (int * string * Trace.t) list;
+      (** [(pid, name, recorder)] per host, for fleet-wide Chrome export *)
   r_leaks : string list;
   r_trace_failures : string list;
   r_mech_failures : string list;
@@ -94,7 +109,13 @@ type run = {
   r_crash : string option;
 }
 
-val run_once : plan:Inject.plan -> seed:int -> run
+val run_once : ?telemetry:bool -> plan:Inject.plan -> seed:int -> unit -> run
+(** One scenario. [telemetry] (default true) selects a live registry per
+    host; [false] threads {!Telemetry.null} everywhere instead — the
+    instrumented paths all become no-ops, and because request trace ids
+    are minted unconditionally the wire bytes (hence every cycle count)
+    are identical either way. That equality is the zero-overhead proof
+    {!Harness.Telemetry} checks. *)
 
 (** {1 Seed sweep} *)
 
@@ -118,6 +139,14 @@ type seed_report = {
   downtimes : int list;
   double_resumes : int;
   audit_dropped : int;
+  tel_samples : int;  (** metric samples, hostile run (fleet + overlays) *)
+  tel_spans : int;  (** causal spans recorded by the hostile fleet run *)
+  stitched_traces : int;  (** cross-host causal traces, hostile run *)
+  burn_fast_alerts : int;  (** hostile run, supervised + unsupervised *)
+  burn_slow_alerts : int;
+  sup_timeline : (int * int * int * int) list;
+      (** hostile supervised overlay: [(window, admitted, good, p99)] *)
+  unsup_timeline : (int * int * int * int) list;
   failures : string list;
 }
 
@@ -143,6 +172,11 @@ type verdict = {
   p99_latency : int;  (** worst seed, hostile supervised *)
   p50_downtime : int;
   p95_downtime : int;
+  total_tel_samples : int;
+  total_tel_spans : int;
+  total_stitched : int;
+  total_burn_fast : int;
+  total_burn_slow : int;
   reports : seed_report list;
   failures : (int * string) list;
 }

@@ -5,6 +5,7 @@ module Soak = Soak
 module Migrate = Migrate
 module Balancer = Cloak.Balancer
 module Fleet = Fleet
+module Observe = Observe
 module Adversary = Adversary
 
 open Machine

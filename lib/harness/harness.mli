@@ -33,6 +33,11 @@ module Fleet = Fleet
     detection, migration-based failover, graceful degradation (see
     {!Fleet.run_seeds}). *)
 
+module Observe = Observe
+(** Re-export: the observability harness — the telemetry plane's
+    zero-cycles-when-off / load-bearing-when-on proof over one hostile
+    fleet scenario (see {!Observe.run}). *)
+
 module Adversary = Adversary
 (** Re-export: the adversarial-OS sweep (every workload under the
     malicious-kernel personality, per attack class; see

@@ -37,15 +37,19 @@ let seeds_from ~base ~count = List.init (max 0 count) (fun i -> base + (i * 7919
 let vconfig ~salt ~seed =
   { Cloak.Vmm.default_config with seed = salt lxor (seed * 0x2545F491) }
 
+(* The one phrasing of "the bounded audit ring wrapped" every harness
+   report shares, so log-scraping and the determinism verdict below stay
+   in sync. *)
+let truncation_note dropped =
+  if dropped <= 0 then None
+  else Some (Printf.sprintf "audit window truncated (%d entries dropped)" dropped)
+
 let determinism_failure ~audit_a ~audit_b ~dropped =
   if audit_a = audit_b then None
-  else if dropped > 0 then
-    Some
-      (Printf.sprintf
-         "audit window truncated (%d entries dropped): replay comparison \
-          covers different windows"
-         dropped)
-  else Some "nondeterministic: same seed produced different audit logs"
+  else
+    match truncation_note dropped with
+    | Some note -> Some (note ^ ": replay comparison covers different windows")
+    | None -> Some "nondeterministic: same seed produced different audit logs"
 
 let map_seeds ?(progress = fun _ -> ()) ~run seeds =
   List.map

@@ -24,6 +24,12 @@ val vconfig : salt:int -> seed:int -> Cloak.Vmm.config
     share the fleet master secret (what migration and fleet need); distinct
     salts keep harnesses' key material independent. *)
 
+val truncation_note : int -> string option
+(** [truncation_note dropped] is the shared human-readable notice that the
+    bounded audit ring wrapped ([None] when [dropped <= 0]) — the one
+    phrasing every harness report uses, and the prefix of the truncated
+    branch of {!determinism_failure}. *)
+
 val determinism_failure :
   audit_a:string list -> audit_b:string list -> dropped:int -> string option
 (** The replay-determinism verdict over two same-seed audit logs: [None]

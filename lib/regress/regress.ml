@@ -132,6 +132,19 @@ let suite ?cost_model () =
       { name = "fleet/heartbeat-timeouts"; kind = Counter;
         value = r.Harness.Fleet.hb_timeouts };
       { name = "fleet/sheds"; kind = Counter; value = r.Harness.Fleet.sheds };
+      (* telemetry: the fleet's own observability plane is part of the
+         pinned behaviour — sample/span volume, stitched cross-host
+         traces and burn-rate pages must not drift silently either *)
+      { name = "fleet/telemetry-samples"; kind = Counter;
+        value = r.Harness.Fleet.tel_samples };
+      { name = "fleet/telemetry-spans"; kind = Counter;
+        value = r.Harness.Fleet.tel_spans };
+      { name = "fleet/stitched-traces"; kind = Counter;
+        value = r.Harness.Fleet.stitched_traces };
+      { name = "fleet/burn-alerts-fast"; kind = Counter;
+        value = r.Harness.Fleet.burn_fast_alerts };
+      { name = "fleet/burn-alerts-slow"; kind = Counter;
+        value = r.Harness.Fleet.burn_slow_alerts };
     ]
   in
   (* one deterministic adversary seed pins the malicious-kernel campaign

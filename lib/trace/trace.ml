@@ -153,6 +153,20 @@ module Hist = struct
     end
 
   let percentile h p = snd (percentile_bounds h p)
+
+  (* Per-bucket sum plus the scalar moments. Fresh result, both inputs
+     untouched; associative and commutative because every field merge is
+     (+, min, max over the same bucketing). *)
+  let merge a b =
+    let m = create () in
+    for i = 0 to nbuckets - 1 do
+      m.counts.(i) <- a.counts.(i) + b.counts.(i)
+    done;
+    m.n <- a.n + b.n;
+    m.sum <- a.sum + b.sum;
+    m.min_v <- min a.min_v b.min_v;
+    m.max_v <- max a.max_v b.max_v;
+    m
 end
 
 (* --- sinks --- *)
@@ -397,26 +411,39 @@ let ctx_name = function
   | Kernel -> "kernel"
   | Cloaked asid -> Printf.sprintf "cloaked-%d" asid
 
-let to_chrome_json t =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\"traceEvents\":[";
-  let first = ref true in
-  (* name the tracks once per context seen *)
+(* One sink's events into [buf]. Without [host], each context is its own
+   Chrome process (pid = tid = track) — the single-VMM layout. With
+   [host = (pid, name)] every event lands under that process row (tid
+   still the context), so several VMM hosts render as distinct rows of
+   one fleet timeline instead of collapsing onto shared track ids. *)
+let chrome_events buf ~first ?host t =
   let named = Hashtbl.create 8 in
   let sep () =
     if !first then first := false else Buffer.add_char buf ',';
     Buffer.add_char buf '\n'
   in
+  (match host with
+  | None -> ()
+  | Some (pid, name) ->
+      sep ();
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+           pid (json_escape name)));
   List.iter
     (fun ev ->
       let track = ctx_track ev.ctx in
+      let pid = match host with None -> track | Some (p, _) -> p in
       if not (Hashtbl.mem named track) then begin
         Hashtbl.add named track ();
         sep ();
+        let meta =
+          match host with None -> "process_name" | Some _ -> "thread_name"
+        in
         Buffer.add_string buf
           (Printf.sprintf
-             "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
-             track track (ctx_name ev.ctx))
+             "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+             meta pid track (ctx_name ev.ctx))
       end;
       sep ();
       let ph, extra =
@@ -428,9 +455,22 @@ let to_chrome_json t =
       Buffer.add_string buf
         (Printf.sprintf
            "{\"name\":\"%s\",\"cat\":\"overshadow\",\"ph\":\"%s\"%s,\"ts\":%d,\"pid\":%d,\"tid\":%d,\"args\":{\"page\":%d,\"owner\":%d,\"site\":\"%s\",\"aux\":%d}}"
-           (kind_name ev.kind) ph extra ev.cycles track track ev.page ev.pid
+           (kind_name ev.kind) ph extra ev.cycles pid track ev.page ev.pid
            (json_escape ev.site) ev.aux))
-    (events t);
+    (events t)
+
+let to_chrome_json ?host t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  chrome_events buf ~first:(ref true) ?host t;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ns\"}\n";
+  Buffer.contents buf
+
+let to_chrome_fleet hosts =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  List.iter (fun (pid, name, t) -> chrome_events buf ~first ~host:(pid, name) t) hosts;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ns\"}\n";
   Buffer.contents buf
 

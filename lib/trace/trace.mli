@@ -186,6 +186,14 @@ module Hist : sig
 
   val create : unit -> h
   val add : h -> int -> unit
+
+  val merge : h -> h -> h
+  (** Per-bucket sum into a fresh histogram; both inputs are untouched.
+      Associative and commutative (every field combines by [+], [min] or
+      [max] over the same fixed bucketing), so per-VMM histograms fold
+      into a fleet histogram in any order. {!percentile_bounds} on the
+      merged histogram still brackets the true order statistic of the
+      combined sample. *)
 end
 
 val histogram : t -> kind -> Hist.h option
@@ -200,10 +208,18 @@ val pp_decomposition : Format.formatter -> t -> unit
 (** The E4-style overhead decomposition: per span class, count, total
     cycles, and p50/p95/p99 latency. *)
 
-val to_chrome_json : t -> string
+val to_chrome_json : ?host:int * string -> t -> string
 (** The retained events as Chrome [trace_event] JSON (load in
-    chrome://tracing or Perfetto). Timestamps are model cycles; the track
-    ("pid") is the context. *)
+    chrome://tracing or Perfetto). Timestamps are model cycles. Without
+    [?host] each context is its own process (pid = tid = context track) —
+    the single-VMM layout. With [~host:(pid, name)] every event lands
+    under one process row named [name], with contexts as threads, so
+    multiple hosts can share a timeline without colliding on track ids. *)
+
+val to_chrome_fleet : (int * string * t) list -> string
+(** Merge several sinks into one Chrome trace: each [(pid, name, sink)]
+    becomes a distinct process row (see {!to_chrome_json} with [?host]),
+    so a multi-VMM fleet renders as one timeline with per-host rows. *)
 
 (** {1 Trace-checked invariants} *)
 
